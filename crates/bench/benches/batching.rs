@@ -1,0 +1,87 @@
+//! Criterion benches for the batching pipeline: end-to-end neighbor-table
+//! construction at different batch counts, and the table builder alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::Device;
+use hybrid_dbscan_core::batch::BatchConfig;
+use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
+use hybrid_dbscan_core::table::NeighborTableBuilder;
+
+fn bench_table_build(c: &mut Criterion) {
+    let device = Device::k20c();
+    let data = datasets::spec::SW1.generate(0.003).points;
+    let eps = 0.3;
+
+    let mut group = c.benchmark_group("table-build");
+    group.sample_size(10);
+
+    // Default plan (3 variable buffers) vs forced heavy batching.
+    group.bench_function("default-batches", |b| {
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        b.iter(|| hybrid.build_table(&data, eps).unwrap())
+    });
+    for n_forced in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("forced-batches", n_forced),
+            &n_forced,
+            |b, &n_forced| {
+                // Shrink static buffers until the plan needs ~n batches.
+                let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+                let probe = hybrid.build_table(&data, eps).unwrap();
+                let buffer = (probe.gpu.result_pairs / n_forced).max(1);
+                let cfg = HybridConfig {
+                    batch: BatchConfig {
+                        static_threshold: 0,
+                        static_buffer_items: buffer + buffer / 4,
+                        ..BatchConfig::default()
+                    },
+                    ..HybridConfig::default()
+                };
+                let hybrid = HybridDbscan::new(&device, cfg);
+                b.iter(|| hybrid.build_table(&data, eps).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_builder_ingest(c: &mut Criterion) {
+    // The host-side half in isolation: sorted pairs -> table.
+    let n_points = 50_000u32;
+    let per_key = 40usize;
+    let pairs: Vec<(u32, u32)> = (0..n_points)
+        .flat_map(|k| (0..per_key as u32).map(move |j| (k, (k + j) % n_points)))
+        .collect();
+
+    let mut group = c.benchmark_group("table-ingest");
+    group.throughput(criterion::Throughput::Elements(pairs.len() as u64));
+    group.sample_size(10);
+    group.bench_function("single-batch", |b| {
+        b.iter(|| {
+            let builder = NeighborTableBuilder::new(1.0, n_points as usize, 1);
+            builder.ingest_batch(0, &pairs);
+            builder.finalize()
+        })
+    });
+    group.bench_function("three-concurrent-batches", |b| {
+        // Split by strided keys, ingest on three threads (the pipeline's
+        // host lanes).
+        let split: Vec<Vec<(u32, u32)>> = (0..3)
+            .map(|l| pairs.iter().copied().filter(|(k, _)| k % 3 == l).collect())
+            .collect();
+        b.iter(|| {
+            let builder = NeighborTableBuilder::new(1.0, n_points as usize, 3);
+            std::thread::scope(|s| {
+                for (l, part) in split.iter().enumerate() {
+                    let builder = &builder;
+                    s.spawn(move || builder.ingest_batch(l, part));
+                }
+            });
+            builder.finalize()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_build, bench_builder_ingest);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Shared infrastructure for the experiment harness: dataset
+//! materialization, option parsing, and table formatting.
+
+use datasets::{spec, Dataset};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Harness-wide options, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Dataset scale factor in (0, 1]; 1.0 reproduces the published sizes.
+    /// Scaling shrinks the domain too, so densities (and the meaning of
+    /// the published ε values) are preserved.
+    pub scale: f64,
+    /// Restrict to these datasets (uppercase names); empty = defaults per
+    /// experiment.
+    pub datasets: Vec<String>,
+    /// Trials to average response times over (paper: 3).
+    pub trials: usize,
+    /// When set, experiments also write their rows as CSV files here
+    /// (for plotting).
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 0.02, datasets: Vec::new(), trials: 1, csv_dir: None }
+    }
+}
+
+impl Options {
+    /// Parse `--scale X`, `--datasets a,b`, `--trials N` style flags.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    let v = args.get(i + 1).ok_or("--scale needs a value")?;
+                    opts.scale = v.parse().map_err(|_| format!("bad scale '{v}'"))?;
+                    if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                        return Err("scale must be in (0, 1]".into());
+                    }
+                    i += 2;
+                }
+                "--datasets" => {
+                    let v = args.get(i + 1).ok_or("--datasets needs a value")?;
+                    opts.datasets = v.split(',').map(|s| s.trim().to_uppercase()).collect();
+                    i += 2;
+                }
+                "--trials" => {
+                    let v = args.get(i + 1).ok_or("--trials needs a value")?;
+                    opts.trials = v.parse().map_err(|_| format!("bad trials '{v}'"))?;
+                    i += 2;
+                }
+                "--quick" => {
+                    opts.scale = 0.005;
+                    i += 1;
+                }
+                "--csv" => {
+                    let v = args.get(i + 1).ok_or("--csv needs a directory")?;
+                    opts.csv_dir = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The datasets to run: the explicit `--datasets` list, or `defaults`.
+    pub fn select<'a>(&'a self, defaults: &'a [&'a str]) -> Vec<String> {
+        if self.datasets.is_empty() {
+            defaults.iter().map(|s| s.to_string()).collect()
+        } else {
+            self.datasets.clone()
+        }
+    }
+}
+
+/// Materializes datasets lazily and caches them for the run.
+pub struct DatasetCache {
+    scale: f64,
+    cache: HashMap<String, Dataset>,
+}
+
+impl DatasetCache {
+    pub fn new(scale: f64) -> Self {
+        DatasetCache { scale, cache: HashMap::new() }
+    }
+
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Get (generating on first use) the named dataset.
+    pub fn get(&mut self, name: &str) -> &Dataset {
+        let key = name.to_uppercase();
+        self.cache.entry(key.clone()).or_insert_with(|| {
+            let spec = spec::by_name(&key)
+                .unwrap_or_else(|| panic!("unknown dataset '{key}'"));
+            eprintln!(
+                "# generating {key} at scale {} ({} points)…",
+                self.scale,
+                (spec.full_size as f64 * self.scale).round() as usize
+            );
+            spec.generate(self.scale)
+        })
+    }
+}
+
+/// Fixed-width text table writer for harness output.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+impl Options {
+    /// Write experiment rows as `<name>.csv` under `--csv`, if requested.
+    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<String>]) {
+        let Some(dir) = &self.csv_dir else { return };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("# csv: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        match std::fs::write(&path, out) {
+            Ok(()) => eprintln!("# csv: wrote {}", path.display()),
+            Err(e) => eprintln!("# csv: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Format seconds adaptively (ms below 1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}

@@ -1,0 +1,54 @@
+//! **Figure 2** — the strided point→batch assignment.
+//!
+//! Pure illustration in the paper; here it is printed from the actual
+//! [`hybrid_dbscan_core::batch`] functions, so the diagram is generated
+//! by the same code the batching scheme executes.
+
+use hybrid_dbscan_core::batch::{batch_of, batch_points};
+
+/// Render the Figure 2 diagram for `n_points` and `n_batches`.
+pub fn render(n_points: usize, n_batches: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Point -> batch assignment, n_b = {n_batches} (paper's Figure 2 uses 1-indexed batches):\n\n"
+    ));
+    out.push_str("batch: ");
+    for i in 0..n_points {
+        out.push_str(&format!("{:>3}", batch_of(i, n_batches) + 1));
+    }
+    out.push_str("\npoint: ");
+    for i in 0..n_points {
+        out.push_str(&format!("{:>3}", i + 1));
+    }
+    out.push('\n');
+    for l in 0..n_batches {
+        let pts: Vec<String> =
+            batch_points(n_points, n_batches, l).map(|i| (i + 1).to_string()).collect();
+        out.push_str(&format!(
+            "\nbatch {} (gid g -> point g*{n_batches}+{l}): points {}",
+            l + 1,
+            pts.join(", ")
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Print the paper's exact example: 20 points, 5 batches.
+pub fn print() {
+    println!("== Figure 2: strided batch assignment ==\n");
+    print!("{}", render(20, 5));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_papers_example() {
+        let s = render(20, 5);
+        // Batch 1 covers points 1, 6, 11, 16 (1-indexed), per Figure 2.
+        assert!(s.contains("batch 1 (gid g -> point g*5+0): points 1, 6, 11, 16"));
+        assert!(s.contains("batch 5 (gid g -> point g*5+4): points 5, 10, 15, 20"));
+    }
+}

@@ -1,0 +1,130 @@
+//! **Figure 5** (scenario S3) — response time vs number of threads when
+//! reusing a single neighbor table for 16 `minpts` values.
+//!
+//! Paper shape: total time falls steeply from 1 to ~8 threads then
+//! flattens (speedups of 2.9×–6.1× at 16 threads); the gap between the
+//! "Total" and "DBSCAN" curves is the fixed table-construction time.
+
+use crate::common::{fmt_secs, DatasetCache, Options, TextTable};
+use gpu_sim::Device;
+use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
+use hybrid_dbscan_core::reuse::TableReuse;
+use hybrid_dbscan_core::scenario;
+
+/// Thread counts swept (the paper's x-axis is 1..16).
+pub const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One (dataset, ε, threads) measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub dataset: String,
+    pub eps: f64,
+    pub threads: usize,
+    pub table_secs: f64,
+    pub dbscan_secs: f64,
+    pub total_secs: f64,
+}
+
+/// Run the S3 thread sweep.
+pub fn run(opts: &Options) -> Vec<Row> {
+    let device = Device::k20c();
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+    let mut cache = DatasetCache::new(opts.scale);
+    // The paper plots SW1, SW4, SDSS1, SDSS3.
+    let selected = opts.select(&["SW1", "SW4", "SDSS1", "SDSS3"]);
+    let mut rows = Vec::new();
+
+    for name in &selected {
+        let data = cache.get(name).points.clone();
+        for (eps, minpts_values) in scenario::s3_rows(name) {
+            // T is built once per ε row; variants are measured once and
+            // the t-thread phase is the modeled work-queue makespan.
+            let handle = hybrid.build_table(&data, eps).expect("table build failed");
+            let run = TableReuse::cluster_variants(&handle, &minpts_values);
+            for &threads in THREADS.iter() {
+                rows.push(Row {
+                    dataset: name.clone(),
+                    eps,
+                    threads,
+                    table_secs: run.table_time.as_secs(),
+                    dbscan_secs: run.dbscan_phase(threads).as_secs(),
+                    total_secs: run.total(threads).as_secs(),
+                });
+                eprintln!(
+                    "# {name} eps={eps:.2} t={threads}: dbscan {} total {}",
+                    fmt_secs(run.dbscan_phase(threads).as_secs()),
+                    fmt_secs(run.total(threads).as_secs())
+                );
+            }
+        }
+    }
+    rows
+}
+
+/// Print per-(dataset, ε) series (the panels of Figure 5).
+pub fn print(opts: &Options) {
+    println!("== Figure 5 (S3): response time vs threads, one table reused for 16 minpts ==");
+    println!("Paper shape: time drops with threads (4.4-6.1x on SW1, 2.9-5.1x on");
+    println!("SDSS1 from 1->16); table-construction time is the constant offset.\n");
+    let rows = run(opts);
+    opts.write_csv(
+        "figure5",
+        &["dataset", "eps", "threads", "table_secs", "dbscan_secs", "total_secs"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.eps.to_string(),
+                    r.threads.to_string(),
+                    r.table_secs.to_string(),
+                    r.dbscan_secs.to_string(),
+                    r.total_secs.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut key = (String::new(), f64::NAN);
+    let mut base_total = 1.0;
+    let mut table: Option<TextTable> = None;
+    for r in &rows {
+        if (r.dataset.clone(), r.eps) != key {
+            if let Some(t) = table.take() {
+                t.print();
+                println!();
+            }
+            key = (r.dataset.clone(), r.eps);
+            base_total = r.total_secs;
+            println!("--- {} (eps = {:.2}, 16 minpts variants) ---", r.dataset, r.eps);
+            table = Some(TextTable::new(&["threads", "DBSCAN", "Total", "speedup vs 1 thread"]));
+        }
+        table.as_mut().unwrap().row(vec![
+            r.threads.to_string(),
+            fmt_secs(r.dbscan_secs),
+            fmt_secs(r.total_secs),
+            format!("{:.2}x", base_total / r.total_secs.max(1e-12)),
+        ]);
+    }
+    if let Some(t) = table {
+        t.print();
+    }
+    // Speedups summary (total at 1 thread over total at 16 threads).
+    println!("\n-- 1->16 thread total-time speedups --");
+    let mut t = TextTable::new(&["Dataset", "eps", "speedup"]);
+    let mut i = 0;
+    while i < rows.len() {
+        let base = &rows[i];
+        let last = rows[i..]
+            .iter()
+            .take_while(|r| r.dataset == base.dataset && r.eps == base.eps)
+            .last()
+            .unwrap();
+        t.row(vec![
+            base.dataset.clone(),
+            format!("{:.2}", base.eps),
+            format!("{:.2}x", base.total_secs / last.total_secs.max(1e-12)),
+        ]);
+        i += THREADS.len();
+    }
+    t.print();
+}

@@ -1,0 +1,97 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale X] [--datasets A,B] [--trials N] [--quick]
+//!
+//! experiments:
+//!   table1    fraction of sequential DBSCAN time in R-tree search
+//!   table2    kernel efficiency (GPUCalcGlobal vs GPUCalcShared), S1
+//!   figure2   strided batch-assignment diagram
+//!   scenarios Tables III and V (the S2/S3 parameter definitions)
+//!   figure3   response time vs eps, hybrid vs reference, S2
+//!   figure4   multi-clustering totals + Table IV speedups, S2
+//!   figure5   response time vs threads with table reuse, S3
+//!   figure6   reuse speedup over per-variant reference, S3
+//!   schedule  Gantt chart of the overlapped 3-stream batch schedule
+//!   ablations bandwidth / stream-count / block-size / index / alpha / split
+//!   all       everything above in paper order
+//! ```
+//!
+//! `--scale` sizes the synthetic datasets (default 0.02 of the published
+//! sizes; the domain shrinks with sqrt(scale) so densities — and the
+//! published ε values — stay meaningful). `--quick` is `--scale 0.005`.
+
+use bench::common::Options;
+use bench::{ablations, figure2, figure3, figure4, figure5, figure6, scenarios, schedule, table1, table2};
+
+fn run_ablations(opts: &Options) {
+    ablations::gdbscan(opts);
+    println!();
+    ablations::bandwidth(opts);
+    println!();
+    ablations::streams(opts);
+    println!();
+    ablations::blocksize(opts);
+    println!();
+    ablations::index(opts);
+    println!();
+    ablations::alpha(opts);
+    println!();
+    ablations::hybrid_split(opts);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: repro <experiment> [options] (see --help)");
+        std::process::exit(2);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!(
+            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--quick]"
+        );
+        return;
+    }
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("# scale = {} (of published dataset sizes), trials = {}", opts.scale, opts.trials);
+
+    match cmd.as_str() {
+        "table1" => table1::print(&opts),
+        "table2" => table2::print(&opts),
+        "figure2" => figure2::print(),
+        "table3" | "table5" | "scenarios" => scenarios::print(),
+        "figure3" => figure3::print(&opts),
+        "figure4" | "table4" => figure4::print(&opts),
+        "figure5" => figure5::print(&opts),
+        "figure6" => figure6::print(&opts),
+        "schedule" => schedule::print(&opts),
+        "ablations" => run_ablations(&opts),
+        "all" => {
+            table1::print(&opts);
+            println!("\n");
+            table2::print(&opts);
+            println!("\n");
+            figure2::print();
+            println!("\n");
+            figure3::print(&opts);
+            println!("\n");
+            figure4::print(&opts);
+            println!("\n");
+            figure5::print(&opts);
+            println!("\n");
+            figure6::print(&opts);
+            println!("\n");
+            run_ablations(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! `repro scenarios` — print **Table III** (S2) and **Table V** (S3), the
+//! published scenario-definition tables, from the encoded constants in
+//! `hybrid_dbscan_core::scenario` (the same constants every experiment
+//! consumes, so the printout cannot drift from the runs).
+
+use crate::common::TextTable;
+use hybrid_dbscan_core::scenario;
+
+fn fmt_eps(e: f64) -> String {
+    // The sweeps are arithmetic with 0.01-granularity steps; round away
+    // the accumulated float noise for display.
+    let s = format!("{e:.2}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+fn fmt_eps_list(eps: &[f64]) -> String {
+    let inner: Vec<String> = eps.iter().map(|&e| fmt_eps(e)).collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+fn fmt_minpts_list(m: &[usize]) -> String {
+    let inner: Vec<String> = m.iter().map(|v| v.to_string()).collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+/// Print Table III: the S2 ε sweeps (minpts = 4 throughout).
+pub fn print_table3() {
+    println!("== Table III: scenario S2 (multi-clustering sweeps, minpts = 4) ==\n");
+    let mut t = TextTable::new(&["Dataset", "eps values", "variants"]);
+    for name in scenario::DATASETS {
+        let vs = scenario::s2_variants(name);
+        let eps: Vec<f64> = vs.iter().map(|v| v.eps).collect();
+        t.row(vec![name.to_string(), fmt_eps_list(&eps), vs.len().to_string()]);
+    }
+    t.print();
+}
+
+/// Print Table V: the S3 rows (fixed ε, 16 minpts values each).
+pub fn print_table5() {
+    println!("== Table V: scenario S3 (table reuse: fixed eps, 16 minpts values) ==\n");
+    let mut t = TextTable::new(&["Dataset", "eps", "minpts values"]);
+    for name in scenario::DATASETS {
+        for (eps, minpts) in scenario::s3_rows(name) {
+            t.row(vec![name.to_string(), fmt_eps(eps), fmt_minpts_list(&minpts)]);
+        }
+    }
+    t.print();
+}
+
+/// Print both scenario tables.
+pub fn print() {
+    print_table3();
+    println!();
+    print_table5();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_list_formatting() {
+        assert_eq!(fmt_eps_list(&[0.1, 0.2]), "{0.1, 0.2}");
+        assert_eq!(fmt_minpts_list(&[4, 8]), "{4, 8}");
+        // Float-accumulation noise is rounded away.
+        assert_eq!(fmt_eps(0.30000000000000004), "0.3");
+        assert_eq!(fmt_eps(0.06999999999999999), "0.07");
+        assert_eq!(fmt_eps(1.0), "1");
+    }
+}

@@ -1,0 +1,739 @@
+//! Hybrid-DBSCAN (Algorithm 4): the end-to-end pipeline.
+//!
+//! ```text
+//! host                         device (simulated)
+//! ────────────────────────────────────────────────────────────────
+//! spatial pre-sort of D
+//! grid construction (G, A)
+//!            ── H2D: D, G, A ──────────────▶
+//!                                estimation kernel → e_b
+//! batch plan (Eq. 1)
+//! pinned staging buffers
+//! for each batch l (3 streams):
+//!                                GPUCalcGlobal/Shared (strided)
+//!                                thrust sort_by_key on R_l
+//!            ◀── D2H into pinned staging ──
+//! ingest R_l values into T
+//! ────────────────────────────────────────────────────────────────
+//! DBSCAN(T, minpts) — possibly many times with different minpts
+//! ```
+//!
+//! The *functional* work executes eagerly (kernels really compute the
+//! pairs, the sort really sorts, the builder really assembles `T`); the
+//! *device timing* is modeled, and the per-batch operation chains are
+//! replayed through the stream scheduler to produce the overlapped
+//! GPU-phase makespan — deterministic regardless of host load. Host-side
+//! durations (table ingestion, DBSCAN) are wall-clock measurements.
+
+use crate::batch::{BatchConfig, BatchPlan};
+use crate::dbscan::{Clustering, Dbscan, TableSource};
+use crate::kernels::{GpuCalcGlobal, GpuCalcShared, NeighborCountKernel, NeighborPair};
+use crate::table::{NeighborTable, NeighborTableBuilder};
+use gpu_sim::device::Device;
+use gpu_sim::error::DeviceError;
+use gpu_sim::hostmem::PinnedBuffer;
+use gpu_sim::memory::{DeviceAppendBuffer, DeviceBuffer, DeviceCounter};
+use gpu_sim::profiler::KernelProfile;
+use gpu_sim::stream::{schedule_chains, OpSpec};
+use gpu_sim::time::SimDuration;
+use gpu_sim::timeline::{Engine, Timeline};
+use gpu_sim::thrust;
+use serde::{Deserialize, Serialize};
+use spatial::presort::spatial_sort_permutation;
+use spatial::{GridIndex, Point2};
+use std::time::Instant;
+
+/// Which ε-neighborhood kernel to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// GPUCalcGlobal (Algorithm 2) — the paper's winner, used by default.
+    Global,
+    /// GPUCalcShared (Algorithm 3) — evaluated in Table II.
+    Shared,
+}
+
+/// Configuration of a Hybrid-DBSCAN run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    pub kernel: KernelChoice,
+    /// Threads per block (paper: 256).
+    pub block_dim: u32,
+    /// Batching-scheme tunables.
+    pub batch: BatchConfig,
+    /// Host threads ingesting batch results into `T` (paper: the 3
+    /// batching threads double as constructors).
+    pub host_lanes: usize,
+    /// Overflow-recovery retries (each doubles `n_b`). The published α
+    /// makes retries unnecessary; this guards adversarial estimates.
+    pub max_retries: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            kernel: KernelChoice::Global,
+            block_dim: 256,
+            batch: BatchConfig::default(),
+            host_lanes: 3,
+            max_retries: 4,
+        }
+    }
+}
+
+/// Timing and profiling of the GPU phase (neighbor-table construction).
+#[derive(Debug, Clone)]
+pub struct GpuPhaseReport {
+    /// Modeled time of the whole table-construction phase: uploads,
+    /// estimation, pinned allocation, and the overlapped batch schedule.
+    /// This is the paper's "Hybrid: GPU Time" curve.
+    pub modeled_time: SimDuration,
+    /// Host wall-clock time actually spent (for honesty in reports).
+    pub wall_time: std::time::Duration,
+    /// The executed batch plan.
+    pub plan: BatchPlan,
+    /// Batches actually run (≥ plan.n_batches if retries occurred).
+    pub n_batches: usize,
+    /// Total result-set pairs produced (`|R|` = `|B|`).
+    pub result_pairs: usize,
+    /// Aggregated kernel launches.
+    pub kernel_profile: KernelProfile,
+    /// Estimation-kernel sample count `e_b`.
+    pub e_b: u64,
+    /// Overflow retries performed.
+    pub retries: usize,
+    /// Component breakdown of `modeled_time` (the serial preamble parts)
+    /// and of the overlapped batch schedule (per-engine sums; these
+    /// overlap, so they exceed `batch_schedule_time`).
+    pub breakdown: GpuPhaseBreakdown,
+    /// The full batch schedule (per-op placements); render with
+    /// [`gpu_sim::stream::Schedule::render_gantt`] to visualize the
+    /// copy/compute overlap.
+    pub schedule: gpu_sim::stream::Schedule,
+}
+
+/// Where the GPU phase spends its modeled time.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct GpuPhaseBreakdown {
+    pub upload_time: SimDuration,
+    pub estimation_time: SimDuration,
+    pub pinned_alloc_time: SimDuration,
+    /// Makespan of the overlapped per-batch schedule.
+    pub batch_schedule_time: SimDuration,
+    /// Serial sums per operation kind (overlapped in the schedule).
+    pub kernel_time: SimDuration,
+    pub sort_time: SimDuration,
+    pub d2h_time: SimDuration,
+    pub ingest_time: SimDuration,
+}
+
+/// Timing breakdown of a full run (the three curves of Figure 3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HybridTimings {
+    /// Table construction (modeled device + overlapped host).
+    pub gpu_phase: SimDuration,
+    /// Host DBSCAN over the table (measured).
+    pub dbscan: SimDuration,
+    /// `gpu_phase + dbscan`.
+    pub total: SimDuration,
+}
+
+/// The output of [`HybridDbscan::run`].
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// Cluster labels in the *caller's* point order.
+    pub clustering: Clustering,
+    pub timings: HybridTimings,
+    pub gpu: GpuPhaseReport,
+}
+
+/// A constructed neighbor table together with the permutation needed to
+/// translate between caller order and table (spatially sorted) order.
+pub struct TableHandle {
+    /// `T`, keyed in spatially-sorted id space (device layout).
+    pub table: NeighborTable,
+    /// `perm[k]` = original index of sorted position `k`.
+    pub perm: Vec<u32>,
+    /// Visit order for DBSCAN: sorted-space ids in ascending original-id
+    /// order (`visit_order[i] = sorted position of original point i`), so
+    /// table-driven runs match the reference implementation's border
+    /// assignments exactly.
+    pub visit_order: Vec<u32>,
+    pub gpu: GpuPhaseReport,
+}
+
+/// Errors from a Hybrid-DBSCAN run.
+#[derive(Debug)]
+pub enum HybridError {
+    Device(DeviceError),
+    /// The result buffers kept overflowing even after doubling `n_b`
+    /// `max_retries` times.
+    RetriesExhausted { attempts: usize },
+}
+
+impl std::fmt::Display for HybridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybridError::Device(e) => write!(f, "device error: {e}"),
+            HybridError::RetriesExhausted { attempts } => {
+                write!(f, "batch buffers overflowed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+impl From<DeviceError> for HybridError {
+    fn from(e: DeviceError) -> Self {
+        HybridError::Device(e)
+    }
+}
+
+/// Output of one batch pass: the filled builder, per-batch operation
+/// chains for scheduling, the kernel profile, and the total pair count.
+type BatchPassOutput = (NeighborTableBuilder, Vec<Vec<OpSpec>>, KernelProfile, usize);
+
+/// The Hybrid-DBSCAN engine (Algorithm 4).
+pub struct HybridDbscan {
+    device: Device,
+    config: HybridConfig,
+}
+
+impl HybridDbscan {
+    pub fn new(device: &Device, config: HybridConfig) -> Self {
+        HybridDbscan { device: device.clone(), config }
+    }
+
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Full Algorithm 4: construct `T` on the (simulated) GPU, then run
+    /// DBSCAN over it. Labels are returned in the caller's point order.
+    pub fn run(&self, data: &[Point2], eps: f64, minpts: usize) -> Result<HybridResult, HybridError> {
+        let handle = self.build_table(data, eps)?;
+        let (clustering, dbscan_time) = Self::cluster_with_table(&handle, minpts);
+        let timings = HybridTimings {
+            gpu_phase: handle.gpu.modeled_time,
+            dbscan: dbscan_time,
+            total: handle.gpu.modeled_time + dbscan_time,
+        };
+        Ok(HybridResult { clustering, timings, gpu: handle.gpu })
+    }
+
+    /// Run DBSCAN over an existing table handle (the data-reuse path,
+    /// scenario S3). Returns labels in caller order plus the measured
+    /// DBSCAN duration.
+    ///
+    /// The table lives in sorted-id space; DBSCAN walks it in the caller's
+    /// original point order (via [`TableHandle::visit_order`]) and the
+    /// labels are mapped back, so the result is *identical* to the
+    /// reference implementation's — not merely equivalent.
+    pub fn cluster_with_table(handle: &TableHandle, minpts: usize) -> (Clustering, SimDuration) {
+        let t0 = Instant::now();
+        let clustering = Dbscan::new(minpts)
+            .run_with_order(&TableSource::new(&handle.table), Some(&handle.visit_order));
+        let dbscan_time: SimDuration = t0.elapsed().into();
+        (clustering.unpermute(&handle.perm), dbscan_time)
+    }
+
+    /// Construct the neighbor table `T` for `data` at `eps` (lines 2-8 of
+    /// Algorithm 4, including the batching scheme of Section VI).
+    pub fn build_table(&self, data: &[Point2], eps: f64) -> Result<TableHandle, HybridError> {
+        assert!(!data.is_empty(), "cannot cluster an empty database");
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+        let wall_start = Instant::now();
+        let cfg = &self.config;
+
+        // Spatial pre-sort (Section IV): improves locality and makes the
+        // strided batch assignment a uniform spatial sample.
+        let perm = spatial_sort_permutation(data);
+        let sorted: Vec<Point2> = perm.apply(data);
+
+        // ConstructIndex(D, eps) on the host.
+        let grid = GridIndex::build(&sorted, eps);
+        let geom = grid.geometry();
+
+        // H2D uploads of D, G, A (pageable: one-off inputs).
+        let (d_buf, up_d) = DeviceBuffer::from_host(&self.device, &sorted, false)?;
+        let (g_buf, up_g) = DeviceBuffer::from_host(&self.device, grid.cells(), false)?;
+        let (a_buf, up_a) = DeviceBuffer::from_host(&self.device, grid.lookup(), false)?;
+
+        // Result-size estimation kernel over the f-sample.
+        let counter = DeviceCounter::new(&self.device)?;
+        let stride = (1.0 / cfg.batch.sample_fraction).round().max(1.0) as usize;
+        let count_kernel = NeighborCountKernel {
+            data: d_buf.as_slice(),
+            grid_cells: g_buf.as_slice(),
+            lookup: a_buf.as_slice(),
+            geom,
+            eps,
+            stride,
+            counter: &counter,
+        };
+        let est_report = self.device.launch(count_kernel.launch_config(cfg.block_dim), &count_kernel)?;
+        let e_b = counter.get();
+        drop(counter);
+
+        // Batch plan (Equation 1), fitted to the remaining device memory
+        // with a small headroom.
+        let mut plan = cfg.batch.plan(e_b);
+        let n_buffers = cfg.batch.n_streams.min(plan.n_batches).max(1);
+        let headroom = self.device.available_bytes() / 10;
+        plan = plan
+            .fit_to_memory(
+                self.device.available_bytes().saturating_sub(headroom),
+                std::mem::size_of::<NeighborPair>(),
+                n_buffers,
+            )
+            .ok_or(DeviceError::OutOfMemory {
+                requested_bytes: std::mem::size_of::<NeighborPair>(),
+                available_bytes: self.device.available_bytes(),
+            })?;
+
+        // For the shared kernel, batches are load-bound cell packings
+        // rather than point strides; one dense cell may force a larger
+        // buffer than Equation 1 chose.
+        let shared_batches: Option<Vec<Vec<u32>>> = match cfg.kernel {
+            KernelChoice::Global => None,
+            KernelChoice::Shared => {
+                let (batches, required) = pack_shared_cells(&grid, plan.buffer_items);
+                if required > plan.buffer_items {
+                    let budget = self.device.available_bytes()
+                        .saturating_sub(self.device.available_bytes() / 10);
+                    let pair = std::mem::size_of::<NeighborPair>();
+                    if required * pair * n_buffers > budget {
+                        return Err(HybridError::Device(DeviceError::OutOfMemory {
+                            requested_bytes: required * pair * n_buffers,
+                            available_bytes: budget,
+                        }));
+                    }
+                    plan.buffer_items = required;
+                }
+                plan.n_batches = batches.len().max(1);
+                Some(batches)
+            }
+        };
+
+        // Pinned staging buffers, one per stream.
+        let n_buffers = cfg.batch.n_streams.min(plan.n_batches).max(1);
+        let pinned: Vec<PinnedBuffer<NeighborPair>> =
+            (0..n_buffers).map(|_| PinnedBuffer::new(&self.device, plan.buffer_items)).collect();
+        let pinned_alloc_time: SimDuration = pinned.iter().map(|p| p.alloc_time()).sum();
+
+        // Device result buffers, one per stream, reused across batches.
+        let mut dev_buffers: Vec<DeviceAppendBuffer<NeighborPair>> = (0..n_buffers)
+            .map(|_| DeviceAppendBuffer::new(&self.device, plan.buffer_items))
+            .collect::<Result<_, _>>()?;
+
+        // Execute batches, retrying with doubled n_b on overflow.
+        let mut pinned = pinned;
+        let mut attempt_plan = plan;
+        let mut retries = 0;
+        let (builder, chains, profile, total_pairs) = loop {
+            match self.run_batches(
+                &sorted,
+                &grid,
+                &d_buf,
+                &g_buf,
+                &a_buf,
+                eps,
+                &attempt_plan,
+                shared_batches.as_deref(),
+                &mut dev_buffers,
+                &mut pinned,
+            )? {
+                Some(out) => break out,
+                None => {
+                    retries += 1;
+                    if retries > cfg.max_retries {
+                        return Err(HybridError::RetriesExhausted { attempts: retries });
+                    }
+                    attempt_plan = attempt_plan.with_doubled_batches();
+                }
+            }
+        };
+
+        // Modeled GPU-phase time: serial preamble (uploads, estimation,
+        // pinned allocation) + the overlapped 3-stream batch schedule.
+        let mut timeline = Timeline::new(cfg.host_lanes.max(1));
+        let schedule = schedule_chains(&mut timeline, &chains, cfg.batch.n_streams);
+        let sum_label = |label: &str| -> SimDuration {
+            chains
+                .iter()
+                .flatten()
+                .filter(|op| op.label == label)
+                .map(|op| op.duration)
+                .sum()
+        };
+        let breakdown = GpuPhaseBreakdown {
+            upload_time: up_d + up_g + up_a,
+            estimation_time: est_report.duration,
+            pinned_alloc_time,
+            batch_schedule_time: schedule.makespan,
+            kernel_time: sum_label("kernel"),
+            sort_time: sum_label("sort"),
+            d2h_time: sum_label("d2h"),
+            ingest_time: sum_label("ingest"),
+        };
+        let modeled_time = up_d
+            + up_g
+            + up_a
+            + est_report.duration
+            + pinned_alloc_time
+            + schedule.makespan;
+
+        let table = builder.finalize();
+        let mut kernel_profile = profile;
+        kernel_profile.record(&est_report);
+
+        let gpu = GpuPhaseReport {
+            modeled_time,
+            wall_time: wall_start.elapsed(),
+            plan,
+            n_batches: attempt_plan.n_batches,
+            result_pairs: total_pairs,
+            kernel_profile,
+            e_b,
+            retries,
+            breakdown,
+            schedule,
+        };
+        // visit_order[original id] = sorted position.
+        let perm_slice = perm.as_slice();
+        let mut visit_order = vec![0u32; perm_slice.len()];
+        for (k, &orig) in perm_slice.iter().enumerate() {
+            visit_order[orig as usize] = k as u32;
+        }
+        Ok(TableHandle { table, perm: perm_slice.to_vec(), visit_order, gpu })
+    }
+
+    /// Run all batches of `plan`. Returns `None` if any batch overflowed
+    /// its buffer (caller re-plans), otherwise the filled builder, the
+    /// per-batch operation chains for scheduling, the kernel profile, and
+    /// the total pair count.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batches(
+        &self,
+        sorted: &[Point2],
+        grid: &GridIndex,
+        d_buf: &DeviceBuffer<Point2>,
+        g_buf: &DeviceBuffer<spatial::grid::CellRange>,
+        a_buf: &DeviceBuffer<u32>,
+        eps: f64,
+        plan: &BatchPlan,
+        shared_batches: Option<&[Vec<u32>]>,
+        dev_buffers: &mut [DeviceAppendBuffer<NeighborPair>],
+        pinned: &mut [PinnedBuffer<NeighborPair>],
+    ) -> Result<Option<BatchPassOutput>, HybridError> {
+        let cfg = &self.config;
+        let n_b = shared_batches.map_or(plan.n_batches, |b| b.len().max(1));
+        let n_buffers = dev_buffers.len();
+        let builder = NeighborTableBuilder::new(eps, sorted.len(), n_b);
+        let mut chains: Vec<Vec<OpSpec>> = Vec::with_capacity(n_b);
+        let mut profile = KernelProfile::new();
+        let mut total_pairs = 0usize;
+
+        for l in 0..n_b {
+            let buf = &mut dev_buffers[l % n_buffers];
+            buf.reset();
+
+            // Kernel launch (functional execution + modeled duration).
+            let report = match cfg.kernel {
+                KernelChoice::Global => {
+                    let kernel = GpuCalcGlobal {
+                        data: d_buf.as_slice(),
+                        grid_cells: g_buf.as_slice(),
+                        lookup: a_buf.as_slice(),
+                        geom: grid.geometry(),
+                        eps,
+                        batch: l,
+                        n_batches: n_b,
+                        result: buf,
+                        skip_dense_at: None,
+                    };
+                    self.device.launch(kernel.launch_config(cfg.block_dim), &kernel)?
+                }
+                KernelChoice::Shared => {
+                    let batch_cells: &[u32] = &shared_batches
+                        .expect("shared kernel requires a cell packing")[l];
+                    if batch_cells.is_empty() {
+                        chains.push(Vec::new());
+                        continue;
+                    }
+                    let kernel = GpuCalcShared {
+                        data: d_buf.as_slice(),
+                        grid_cells: g_buf.as_slice(),
+                        lookup: a_buf.as_slice(),
+                        geom: grid.geometry(),
+                        eps,
+                        schedule: batch_cells,
+                        result: buf,
+                    };
+                    self.device.launch(kernel.launch_config(cfg.block_dim), &kernel)?
+                }
+            };
+            profile.record(&report);
+
+            if buf.overflowed() {
+                return Ok(None);
+            }
+
+            // Device-side sort by key (Thrust), so identical keys are
+            // adjacent before the transfer.
+            let sort_time = thrust::sort_by_key(&self.device, buf.as_filled_mut_slice());
+
+            // D2H into the pinned staging area. The staging buffer is
+            // reused by batch l + n_streams, which is why the values must
+            // be copied out (Algorithm 4's rationale for buffer B).
+            let (pairs, d2h_time) = buf.to_host(true);
+            total_pairs += pairs.len();
+            let stage = &mut pinned[l % n_buffers];
+            let staged_len = stage.write_from(&pairs);
+
+            // Host: copy the values out of staging into T (measured).
+            let t0 = Instant::now();
+            builder.ingest_batch(l, &stage.as_slice()[..staged_len]);
+            let ingest_time: SimDuration = t0.elapsed().into();
+
+            chains.push(vec![
+                OpSpec::new(Engine::Compute, report.duration, "kernel"),
+                OpSpec::new(Engine::Compute, sort_time, "sort"),
+                OpSpec::new(Engine::D2H, d2h_time, "d2h"),
+                OpSpec::new(Engine::Host(l % cfg.host_lanes.max(1)), ingest_time, "ingest"),
+            ]);
+        }
+
+        Ok(Some((builder, chains, profile, total_pairs)))
+    }
+}
+
+
+/// Pack the non-empty cells of `grid` into batches for the shared kernel.
+///
+/// The paper's strided point assignment does not apply to a block-per-cell
+/// kernel: one dense cell can emit more pairs than a whole batch budget.
+/// Instead we bound each cell's output conservatively by
+/// `m_h × Σ_{h' ∈ adj(h)} m_{h'}` (every pair a cell's blocks can emit is
+/// counted) and first-fit cells, in schedule order, into batches whose
+/// summed bound stays within `capacity`. Overflow is therefore impossible
+/// by construction. Returns the batches and the capacity actually needed
+/// (which exceeds `capacity` only when a single cell's bound does).
+fn pack_shared_cells(grid: &GridIndex, capacity: usize) -> (Vec<Vec<u32>>, usize) {
+    let cells = grid.cells();
+    let geom = grid.geometry();
+    let mut required = capacity.max(1);
+    let mut bounds = Vec::with_capacity(grid.non_empty_cells().len());
+    for &h in grid.non_empty_cells() {
+        let m = cells[h as usize].len();
+        let (adj, n_adj) = geom.neighbor_cells(h as usize);
+        let neighborhood: usize = adj[..n_adj].iter().map(|&a| cells[a as usize].len()).sum();
+        let bound = m * neighborhood;
+        required = required.max(bound);
+        bounds.push((h, bound));
+    }
+    let mut batches: Vec<Vec<u32>> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let mut load = 0usize;
+    for (h, bound) in bounds {
+        if load + bound > required && !current.is_empty() {
+            batches.push(std::mem::take(&mut current));
+            load = 0;
+        }
+        current.push(h);
+        load += bound;
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    (batches, required)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::GridSource;
+    use crate::kernels::test_support::mixed_points;
+
+    fn tiny_batch_config(buffer_items: usize) -> BatchConfig {
+        BatchConfig {
+            alpha: 0.05,
+            sample_fraction: 0.05,
+            static_threshold: 0, // always static sizing
+            static_buffer_items: buffer_items,
+            n_streams: 3,
+        }
+    }
+
+    #[test]
+    fn run_matches_direct_grid_dbscan() {
+        let data = mixed_points(600);
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        for (eps, minpts) in [(0.5, 4), (1.0, 8), (0.25, 2)] {
+            let result = hybrid.run(&data, eps, minpts).unwrap();
+            let grid = GridIndex::build(&data, eps);
+            let direct = Dbscan::new(minpts).run(&GridSource::new(&grid, &data));
+            assert!(
+                result.clustering.equivalent_to(&direct),
+                "eps={eps} minpts={minpts}: {} vs {} clusters",
+                result.clustering.num_clusters(),
+                direct.num_clusters()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_batch_run_matches_single_batch() {
+        let data = mixed_points(800);
+        let device = Device::k20c();
+        let one = HybridDbscan::new(&device, HybridConfig::default());
+        let many_cfg = HybridConfig {
+            batch: tiny_batch_config(2000), // forces several batches
+            ..HybridConfig::default()
+        };
+        let many = HybridDbscan::new(&device, many_cfg);
+
+        let r1 = one.run(&data, 0.6, 4).unwrap();
+        let rn = many.run(&data, 0.6, 4).unwrap();
+        assert!(rn.gpu.n_batches > 1, "test must exercise batching");
+        assert!(r1.clustering.equivalent_to(&rn.clustering));
+        assert_eq!(r1.gpu.result_pairs, rn.gpu.result_pairs);
+    }
+
+    #[test]
+    fn shared_kernel_produces_identical_clustering() {
+        let data = mixed_points(500);
+        let device = Device::k20c();
+        let global = HybridDbscan::new(&device, HybridConfig::default());
+        let shared = HybridDbscan::new(
+            &device,
+            HybridConfig { kernel: KernelChoice::Shared, ..HybridConfig::default() },
+        );
+        let rg = global.run(&data, 0.7, 4).unwrap();
+        let rs = shared.run(&data, 0.7, 4).unwrap();
+        assert!(rg.clustering.equivalent_to(&rs.clustering));
+        assert_eq!(rg.gpu.result_pairs, rs.gpu.result_pairs);
+    }
+
+    #[test]
+    fn shared_kernel_multi_batch_matches() {
+        let data = mixed_points(500);
+        let device = Device::k20c();
+        let cfg = HybridConfig {
+            kernel: KernelChoice::Shared,
+            batch: tiny_batch_config(3000),
+            ..HybridConfig::default()
+        };
+        let hybrid = HybridDbscan::new(&device, cfg);
+        let r = hybrid.run(&data, 0.7, 4).unwrap();
+        assert!(r.gpu.n_batches > 1);
+        let grid = GridIndex::build(&data, 0.7);
+        let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
+        assert!(r.clustering.equivalent_to(&direct));
+    }
+
+    #[test]
+    fn overflow_recovery_doubles_batches() {
+        let data = mixed_points(400);
+        let device = Device::k20c();
+        // Lie to the planner: a sample "fraction" above 1 makes the
+        // estimate a_b = e_b / f a 4x *underestimate* of the true result
+        // size (the stride clamps to 1, so e_b is exact), so the first
+        // plan's buffers must overflow and the retry path kicks in.
+        let cfg = HybridConfig {
+            batch: BatchConfig {
+                alpha: 0.05,
+                sample_fraction: 4.0,
+                static_threshold: u64::MAX, // variable-buffer path
+                static_buffer_items: 0,     // unused on that path
+                n_streams: 3,
+            },
+            max_retries: 16,
+            ..HybridConfig::default()
+        };
+        let hybrid = HybridDbscan::new(&device, cfg);
+        let r = hybrid.run(&data, 1.0, 4).unwrap();
+        assert!(r.gpu.retries > 0, "undersized estimate must trigger retries");
+        // And the result is still correct.
+        let grid = GridIndex::build(&data, 1.0);
+        let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
+        assert!(r.clustering.equivalent_to(&direct));
+    }
+
+    #[test]
+    fn table_reuse_across_minpts() {
+        let data = mixed_points(500);
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let handle = hybrid.build_table(&data, 0.8).unwrap();
+        let grid = GridIndex::build(&data, 0.8);
+        for minpts in [2, 4, 8, 16] {
+            let (clustering, _) = HybridDbscan::cluster_with_table(&handle, minpts);
+            let direct = Dbscan::new(minpts).run(&GridSource::new(&grid, &data));
+            assert!(clustering.equivalent_to(&direct), "minpts = {minpts}");
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let data = mixed_points(300);
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let r = hybrid.run(&data, 0.5, 4).unwrap();
+        assert!(r.timings.gpu_phase > SimDuration::ZERO);
+        assert!(r.timings.total.as_secs() >= r.timings.gpu_phase.as_secs());
+        assert!(r.gpu.result_pairs > 0);
+        assert!(r.gpu.e_b > 0);
+        assert!(r.gpu.kernel_profile.launches >= 2, "estimation + >=1 batch");
+    }
+
+    #[test]
+    fn device_memory_is_released_after_run() {
+        let data = mixed_points(300);
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let _ = hybrid.run(&data, 0.5, 4).unwrap();
+        assert_eq!(device.used_bytes(), 0, "all device allocations must be dropped");
+    }
+
+    #[test]
+    fn tiny_device_forces_memory_fitting() {
+        // A device with little memory: the plan must shrink buffers and
+        // still produce correct results.
+        let data = mixed_points(400);
+        let device = Device::tiny(2 * 1024 * 1024);
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let r = hybrid.run(&data, 0.8, 4).unwrap();
+        let grid = GridIndex::build(&data, 0.8);
+        let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
+        assert!(r.clustering.equivalent_to(&direct));
+    }
+
+    #[test]
+    fn labels_are_in_caller_order() {
+        // Shuffle the input; the two coincident-cluster memberships must
+        // land on the right original indices.
+        let mut data = Vec::new();
+        for i in 0..40 {
+            data.push(Point2::new(100.0 + (i % 7) as f64 * 0.01, 0.0)); // clump B first
+        }
+        for i in 0..40 {
+            data.push(Point2::new((i % 7) as f64 * 0.01, 0.0)); // clump A second
+        }
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let r = hybrid.run(&data, 0.5, 3).unwrap();
+        let labels = r.clustering.labels();
+        // Points 0..40 (clump at x~100) share one label; 40..80 the other.
+        for i in 1..40 {
+            assert_eq!(labels[i], labels[0]);
+            assert_eq!(labels[40 + i], labels[40]);
+        }
+        assert_ne!(labels[0], labels[40]);
+    }
+}

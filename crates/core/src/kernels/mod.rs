@@ -1,0 +1,66 @@
+//! The GPU kernels of Section IV, implemented against the `gpu-sim`
+//! SIMT device.
+//!
+//! * [`GpuCalcGlobal`] — Algorithm 2: one thread per point, global memory
+//!   only, with the strided batch assignment of Section VI baked into the
+//!   gid→point mapping (Figure 2).
+//! * [`GpuCalcShared`] — Algorithm 3: one block per non-empty grid cell
+//!   (driven by the schedule `S`), origin/comparison cells paged through
+//!   shared memory in block-size tiles with `__syncthreads()` barriers.
+//! * [`NeighborCountKernel`] — the result-size estimation kernel of
+//!   Section VI: counts (never materializes) the neighbors of a uniform
+//!   sample of points.
+//!
+//! All kernels emit key/value pairs `(k_j, v_j)` where `v_j ∈ N_ε(k_j)`,
+//! appended to a [`DeviceAppendBuffer`] through the atomic cursor — the
+//! `atomic: gpuResultSet ∪ result` of the pseudo-code. Append overflow is
+//! recorded in the buffer rather than corrupting memory; the batching
+//! scheme's job is to make it never happen.
+
+mod count;
+mod global;
+mod shared;
+
+pub use count::NeighborCountKernel;
+pub use global::GpuCalcGlobal;
+pub use shared::GpuCalcShared;
+
+/// A result-set item: `key` is a point id, `value` a point id within ε of
+/// it. Layout matches the 8-byte pairs the device sort operates on.
+pub type NeighborPair = (u32, u32);
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use spatial::Point2;
+
+    /// A small mixed-density point set exercising multi-cell grids.
+    pub fn mixed_points(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                if i % 3 == 0 {
+                    // Clumped third.
+                    Point2::new(2.0 + (t * 0.618).fract() * 0.5, 2.0 + (t * 0.414).fract() * 0.5)
+                } else {
+                    // Spread remainder.
+                    Point2::new((t * 0.777).fract() * 10.0, (t * 0.333).fract() * 10.0)
+                }
+            })
+            .collect()
+    }
+
+    /// All (key, value) neighbor pairs by brute force, sorted.
+    pub fn brute_force_pairs(data: &[Point2], eps: f64) -> Vec<(u32, u32)> {
+        let eps_sq = eps * eps;
+        let mut out = Vec::new();
+        for (i, p) in data.iter().enumerate() {
+            for (j, q) in data.iter().enumerate() {
+                if p.distance_sq(q) <= eps_sq {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}

@@ -1,0 +1,60 @@
+//! # hybrid-dbscan-core
+//!
+//! The paper's primary contribution: **Hybrid-DBSCAN** — GPU-accelerated
+//! construction of the ε-neighborhood *neighbor table* `T`, an efficient
+//! batching scheme that fits arbitrarily large result sets in limited GPU
+//! memory, and host-side DBSCAN variants that consume `T` to maximize
+//! clustering throughput.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`dbscan`] — Algorithm 1 over pluggable neighbor sources; cluster
+//!   label containers and equivalence checks (§II-A).
+//! * [`table`] — the neighbor table `T` (`[T_min, T_max]` ranges into the
+//!   value array `B`) and its batched builder (§V).
+//! * [`kernels`] — `GPUCalcGlobal` (Algorithm 2), `GPUCalcShared`
+//!   (Algorithm 3), and the result-size estimation kernel (§IV, §VI).
+//! * [`batch`] — the batching scheme: Equation 1, the α overestimation
+//!   factor, static/variable buffer sizing, strided batch assignment
+//!   (§VI, Figure 2).
+//! * [`hybrid`] — Algorithm 4 end-to-end with 3-stream overlap (§V, §VI).
+//! * [`pipeline`] — the multi-clustering producer-consumer pipeline,
+//!   scenario S2 (§VII-E).
+//! * [`reuse`] — neighbor-table reuse across `minpts` values, scenario S3
+//!   (§VII-F).
+//! * [`reference`] — the sequential R-tree DBSCAN the paper compares
+//!   against, with neighbor-search time accounting (Table I).
+//! * [`scenario`] — the published experiment parameter sets
+//!   (Tables III and V).
+//!
+//! Extensions beyond the paper (DESIGN.md §5):
+//!
+//! * [`optics`] — OPTICS and its ε'-cut extraction, the technique the
+//!   paper positions S3 against.
+//! * [`disjoint_set`] — a lock-free union-find DBSCAN that parallelizes a
+//!   *single* clustering over the GPU-built table (after Patwary et al.,
+//!   the paper's reference [9]).
+//! * [`gdbscan`] — G-DBSCAN (Andrade et al., the paper's reference [6]):
+//!   the "cluster entirely on the GPU" competitor family, for head-to-head
+//!   comparison with the hybrid approach.
+//! * [`cuda_dclust`] — CUDA-DClust (Böhm et al., the paper's reference
+//!   [5]): parallel chain expansion with host-side collision resolution,
+//!   the original member of that family.
+
+pub mod batch;
+pub mod cuda_dclust;
+pub mod dbscan;
+pub mod disjoint_set;
+pub mod gdbscan;
+pub mod hybrid;
+pub mod kernels;
+pub mod optics;
+pub mod pipeline;
+pub mod reference;
+pub mod reuse;
+pub mod scenario;
+pub mod table;
+
+pub use dbscan::{Clustering, Dbscan, PointLabel};
+pub use hybrid::{HybridConfig, HybridDbscan, HybridResult};
+pub use table::NeighborTable;

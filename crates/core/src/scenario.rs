@@ -1,0 +1,143 @@
+//! The published experiment scenarios.
+//!
+//! * **S1** (Table II): single-invocation kernel-efficiency comparison.
+//! * **S2** (Table III): per-dataset ε sweeps at `minpts = 4` — the
+//!   multi-clustering throughput scenario.
+//! * **S3** (Table V): per-dataset fixed ε with 16 `minpts` values — the
+//!   data-reuse scenario.
+
+use serde::{Deserialize, Serialize};
+
+/// One DBSCAN parameterization `v_i = (ε_i, minpts_i)` (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variant {
+    pub eps: f64,
+    pub minpts: usize,
+}
+
+impl Variant {
+    pub fn new(eps: f64, minpts: usize) -> Self {
+        Variant { eps, minpts }
+    }
+}
+
+/// An arithmetic ε sweep `start, start+step, …` of `count` values.
+pub fn eps_sweep(start: f64, step: f64, count: usize) -> Vec<f64> {
+    (0..count).map(|i| start + step * i as f64).collect()
+}
+
+/// S1 / Table II kernel-efficiency settings: `(dataset, ε)`.
+/// ε = 0.2 for the ~2·10⁶-point datasets, 0.07 for the ~5·10⁶-point ones
+/// ("we decrease ε with increasing |D|").
+pub fn s1_settings() -> Vec<(&'static str, f64)> {
+    vec![("SW1", 0.2), ("SW4", 0.07), ("SDSS1", 0.2), ("SDSS2", 0.07)]
+}
+
+/// S2 / Table III: the ε sweep for `dataset`, all at `minpts = 4`.
+pub fn s2_variants(dataset: &str) -> Vec<Variant> {
+    let eps_values = match dataset.to_ascii_uppercase().as_str() {
+        // {0.1, 0.2, …, 1.5}: 15 variants.
+        "SW1" | "SDSS1" => eps_sweep(0.1, 0.1, 15),
+        // {0.1, 0.15, …, 0.5}: 9 variants.
+        "SW4" | "SDSS2" => eps_sweep(0.1, 0.05, 9),
+        // {0.06, 0.07, …, 0.13}: 8 variants.
+        "SDSS3" => eps_sweep(0.06, 0.01, 8),
+        other => panic!("unknown dataset {other}"),
+    };
+    eps_values.into_iter().map(|eps| Variant::new(eps, 4)).collect()
+}
+
+/// The 16-value `minpts` set of Table V for a given dataset class/ε row.
+fn s3_minpts(dataset: &str, eps: f64) -> Vec<usize> {
+    // SW1/SW4 and SDSS2/SDSS3's large-ε rows use the decade-heavy set;
+    // the SDSS small-ε rows use finer-grained sets.
+    match dataset.to_ascii_uppercase().as_str() {
+        "SW1" | "SW4" => vec![
+            10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 400, 800, 1000, 2000, 3000,
+        ],
+        "SDSS1" => {
+            if eps <= 0.35 {
+                vec![
+                    10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 400, 800, 1000, 2000, 3000,
+                ]
+            } else {
+                vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80]
+            }
+        }
+        "SDSS2" => vec![5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150],
+        "SDSS3" => vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80],
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// S3 / Table V: the `(ε, minpts-set)` rows for `dataset`.
+pub fn s3_rows(dataset: &str) -> Vec<(f64, Vec<usize>)> {
+    let eps_values: Vec<f64> = match dataset.to_ascii_uppercase().as_str() {
+        "SW1" => vec![0.3, 0.5, 0.7],
+        "SW4" => vec![0.1, 0.2, 0.3],
+        "SDSS1" => vec![0.3, 0.5, 0.7],
+        "SDSS2" => vec![0.2, 0.3, 0.4],
+        "SDSS3" => vec![0.07, 0.11, 0.15],
+        other => panic!("unknown dataset {other}"),
+    };
+    eps_values.into_iter().map(|e| (e, s3_minpts(dataset, e))).collect()
+}
+
+/// All dataset names, in the paper's reporting order.
+pub const DATASETS: [&str; 5] = ["SW1", "SW4", "SDSS1", "SDSS2", "SDSS3"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s2_variant_counts_match_table_iii() {
+        assert_eq!(s2_variants("SW1").len(), 15);
+        assert_eq!(s2_variants("SW4").len(), 9);
+        assert_eq!(s2_variants("SDSS1").len(), 15);
+        assert_eq!(s2_variants("SDSS2").len(), 9);
+        assert_eq!(s2_variants("SDSS3").len(), 8);
+    }
+
+    #[test]
+    fn s2_all_minpts_four() {
+        for d in DATASETS {
+            assert!(s2_variants(d).iter().all(|v| v.minpts == 4));
+        }
+    }
+
+    #[test]
+    fn s2_sweep_endpoints() {
+        let sw1 = s2_variants("SW1");
+        assert!((sw1[0].eps - 0.1).abs() < 1e-12);
+        assert!((sw1[14].eps - 1.5).abs() < 1e-12);
+        let sdss3 = s2_variants("SDSS3");
+        assert!((sdss3[0].eps - 0.06).abs() < 1e-12);
+        assert!((sdss3[7].eps - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s3_rows_have_sixteen_minpts() {
+        for d in DATASETS {
+            let rows = s3_rows(d);
+            assert_eq!(rows.len(), 3, "{d} has 3 ε rows in Table V");
+            for (eps, minpts) in rows {
+                assert_eq!(minpts.len(), 16, "{d} at eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn s1_settings_match_table_ii() {
+        let s = s1_settings();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], ("SW1", 0.2));
+        assert_eq!(s[1], ("SW4", 0.07));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_dataset_panics() {
+        let _ = s2_variants("SW99");
+    }
+}

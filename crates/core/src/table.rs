@@ -1,0 +1,411 @@
+//! The neighbor table `T` (Section V of the paper).
+//!
+//! `T` maps every point `p_i ∈ D` to its ε-neighborhood as a range
+//! `[T_i_min, T_i_max]` into a flat value array `B`: if `p_j` is within ε
+//! of `p_i`, then `j ∈ {B[T_i_min], …, B[T_i_max]}`. The GPU returns the
+//! result set `R` as key/value pairs sorted by key; construction scans the
+//! sorted keys once, copies the values into `B`, and records the range per
+//! key.
+//!
+//! Because the batching scheme produces `T` incrementally — each batch
+//! covers a strided subset of the points — [`NeighborTableBuilder`] lets
+//! several worker threads ingest their batches concurrently: each batch
+//! owns a private value segment; `finalize` concatenates the segments and
+//! rebases the recorded ranges. Ranges of different batches never overlap
+//! (a point belongs to exactly one batch), so no synchronization beyond
+//! segment ownership is required.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Per-point neighbor range into the value array `B`. Stored half-open
+/// (`start..end`); the paper's inclusive `T_max` is `end - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct TableRange {
+    start: u64,
+    end: u64,
+}
+
+/// The completed neighbor table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborTable {
+    eps: f64,
+    ranges: Vec<TableRange>,
+    values: Vec<u32>,
+}
+
+impl NeighborTable {
+    /// Build a table directly from a fully sorted key/value result set
+    /// (the single-batch fast path). Pairs must be sorted by key.
+    pub fn from_sorted_pairs(eps: f64, n_points: usize, pairs: &[(u32, u32)]) -> Self {
+        let builder = NeighborTableBuilder::new(eps, n_points, 1);
+        builder.ingest_batch(0, pairs);
+        builder.finalize()
+    }
+
+    /// The ε this table was computed for.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of points in the underlying database.
+    pub fn num_points(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of stored neighbor entries, `|B|` (= `|R|`, the result
+    /// set size the batching scheme estimates).
+    pub fn num_entries(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The ε-neighborhood of point `id` (ids into the database the table
+    /// was built over). Includes `id` itself.
+    pub fn neighbors(&self, id: u32) -> &[u32] {
+        let r = self.ranges[id as usize];
+        &self.values[r.start as usize..r.end as usize]
+    }
+
+    /// Number of neighbors of `id` without materializing the slice.
+    pub fn neighbor_count(&self, id: u32) -> usize {
+        let r = self.ranges[id as usize];
+        (r.end - r.start) as usize
+    }
+
+    /// Approximate heap footprint in bytes (the host-memory cost of
+    /// retaining `T` for reuse).
+    pub fn memory_bytes(&self) -> usize {
+        self.ranges.len() * std::mem::size_of::<TableRange>()
+            + self.values.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Persist the table in a compact little-endian binary format, so a
+    /// preprocessed ε-neighborhood can be reused across sessions (the
+    /// paper's data-reuse story, extended to disk):
+    /// `magic, version, eps, n_points, |B|, ranges…, values…`.
+    pub fn save(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(Self::MAGIC)?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&self.eps.to_le_bytes())?;
+        w.write_all(&(self.ranges.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.values.len() as u64).to_le_bytes())?;
+        for r in &self.ranges {
+            w.write_all(&r.start.to_le_bytes())?;
+            w.write_all(&r.end.to_le_bytes())?;
+        }
+        for v in &self.values {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Load a table written by [`NeighborTable::save`], validating the
+    /// header and every range.
+    pub fn load(r: &mut impl std::io::Read) -> std::io::Result<NeighborTable> {
+        use std::io::{Error, ErrorKind};
+        fn read<const N: usize>(r: &mut impl std::io::Read) -> std::io::Result<[u8; N]> {
+            let mut b = [0u8; N];
+            r.read_exact(&mut b)?;
+            Ok(b)
+        }
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+
+        if &read::<8>(r)? != NeighborTable::MAGIC {
+            return Err(bad("not a neighbor-table file (bad magic)"));
+        }
+        let version = u32::from_le_bytes(read::<4>(r)?);
+        if version != 1 {
+            return Err(bad("unsupported neighbor-table version"));
+        }
+        let eps = f64::from_le_bytes(read::<8>(r)?);
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(bad("invalid eps"));
+        }
+        let n_points = u64::from_le_bytes(read::<8>(r)?) as usize;
+        let n_values = u64::from_le_bytes(read::<8>(r)?) as usize;
+        let mut ranges = Vec::with_capacity(n_points);
+        for _ in 0..n_points {
+            let start = u64::from_le_bytes(read::<8>(r)?);
+            let end = u64::from_le_bytes(read::<8>(r)?);
+            if start > end || end > n_values as u64 {
+                return Err(bad("corrupt range"));
+            }
+            ranges.push(TableRange { start, end });
+        }
+        let mut values = Vec::with_capacity(n_values);
+        for _ in 0..n_values {
+            let v = u32::from_le_bytes(read::<4>(r)?);
+            if (v as usize) >= n_points {
+                return Err(bad("value id out of range"));
+            }
+            values.push(v);
+        }
+        Ok(NeighborTable { eps, ranges, values })
+    }
+
+    const MAGIC: &'static [u8; 8] = b"HDBSCNT1";
+}
+
+/// Concurrent, batch-at-a-time builder for [`NeighborTable`].
+pub struct NeighborTableBuilder {
+    eps: f64,
+    n_points: usize,
+    /// Per-point ranges, *local* to the owning batch's segment until
+    /// finalize rebases them. Interior mutability: batches own disjoint
+    /// point subsets, so entries are written by exactly one thread; the
+    /// mutex only guards the coarse structure.
+    state: Mutex<BuilderState>,
+}
+
+struct BuilderState {
+    ranges: Vec<TableRange>,
+    /// Which batch wrote each point's range (for rebasing); u32::MAX if
+    /// the point has no entries.
+    owner: Vec<u32>,
+    /// One value segment per batch.
+    segments: Vec<Vec<u32>>,
+}
+
+impl NeighborTableBuilder {
+    /// Create a builder for `n_points` points filled by `n_batches`
+    /// batches.
+    pub fn new(eps: f64, n_points: usize, n_batches: usize) -> Self {
+        NeighborTableBuilder {
+            eps,
+            n_points,
+            state: Mutex::new(BuilderState {
+                ranges: vec![TableRange::default(); n_points],
+                owner: vec![u32::MAX; n_points],
+                segments: vec![Vec::new(); n_batches.max(1)],
+            }),
+        }
+    }
+
+    /// Ingest batch `batch_idx`'s result set (sorted by key). Safe to call
+    /// from multiple threads with distinct `batch_idx` values; each batch
+    /// must cover a disjoint set of keys (guaranteed by the strided batch
+    /// assignment).
+    ///
+    /// This performs the host-side work Algorithm 4 describes: copy the
+    /// *values* out of the pinned staging area into `B` (the keys are
+    /// consumed on the fly to delimit ranges and never copied).
+    pub fn ingest_batch(&self, batch_idx: usize, pairs: &[(u32, u32)]) {
+        // Keys must arrive in contiguous runs (the device sort guarantees
+        // this; id translation permutes run labels but preserves runs).
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = std::collections::HashSet::new();
+            let mut prev = None;
+            for &(k, _) in pairs {
+                if prev != Some(k) {
+                    assert!(seen.insert(k), "key {k} appears in two separate runs");
+                    prev = Some(k);
+                }
+            }
+        }
+
+        // Copy values and compute per-key local ranges outside the lock.
+        let mut segment = Vec::with_capacity(pairs.len());
+        let mut local: Vec<(u32, TableRange)> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let key = pairs[i].0;
+            let start = i;
+            while i < pairs.len() && pairs[i].0 == key {
+                segment.push(pairs[i].1);
+                i += 1;
+            }
+            local.push((key, TableRange { start: start as u64, end: i as u64 }));
+        }
+
+        let mut state = self.state.lock();
+        for (key, range) in local {
+            assert!(
+                (key as usize) < self.n_points,
+                "key {key} out of range for {} points",
+                self.n_points
+            );
+            assert_eq!(
+                state.owner[key as usize],
+                u32::MAX,
+                "key {key} ingested by two batches — strided assignment violated"
+            );
+            state.owner[key as usize] = batch_idx as u32;
+            state.ranges[key as usize] = range;
+        }
+        assert!(
+            state.segments[batch_idx].is_empty(),
+            "batch {batch_idx} ingested twice"
+        );
+        state.segments[batch_idx] = segment;
+    }
+
+    /// Concatenate the batch segments into `B` and rebase ranges.
+    pub fn finalize(self) -> NeighborTable {
+        let state = self.state.into_inner();
+        let BuilderState { mut ranges, owner, segments } = state;
+
+        // Prefix offsets of each batch's segment within B.
+        let mut offsets = Vec::with_capacity(segments.len());
+        let mut total = 0u64;
+        for seg in &segments {
+            offsets.push(total);
+            total += seg.len() as u64;
+        }
+
+        for (i, range) in ranges.iter_mut().enumerate() {
+            if owner[i] != u32::MAX {
+                let off = offsets[owner[i] as usize];
+                range.start += off;
+                range.end += off;
+            }
+            // Unowned points keep the default empty 0..0 range.
+        }
+
+        let mut values = Vec::with_capacity(total as usize);
+        for seg in segments {
+            values.extend_from_slice(&seg);
+        }
+
+        NeighborTable { eps: self.eps, ranges, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_batch_table() {
+        // Point 0 -> {0, 1}; point 1 -> {0, 1, 2}; point 2 -> {1, 2}.
+        let pairs = [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)];
+        let t = NeighborTable::from_sorted_pairs(0.5, 3, &pairs);
+        assert_eq!(t.neighbors(0), &[0, 1]);
+        assert_eq!(t.neighbors(1), &[0, 1, 2]);
+        assert_eq!(t.neighbors(2), &[1, 2]);
+        assert_eq!(t.num_entries(), 7);
+        assert_eq!(t.num_points(), 3);
+        assert_eq!(t.eps(), 0.5);
+        assert_eq!(t.neighbor_count(1), 3);
+    }
+
+    #[test]
+    fn point_with_no_pairs_has_empty_neighborhood() {
+        let pairs = [(0, 0), (2, 2)];
+        let t = NeighborTable::from_sorted_pairs(1.0, 3, &pairs);
+        assert_eq!(t.neighbors(1), &[] as &[u32]);
+        assert_eq!(t.neighbor_count(1), 0);
+    }
+
+    #[test]
+    fn multi_batch_strided_assembly() {
+        // 6 points, 2 batches: batch 0 owns even keys, batch 1 odd keys.
+        let builder = NeighborTableBuilder::new(1.0, 6, 2);
+        builder.ingest_batch(0, &[(0, 0), (0, 2), (2, 2), (4, 4), (4, 5)]);
+        builder.ingest_batch(1, &[(1, 1), (3, 3), (3, 4), (5, 4), (5, 5)]);
+        let t = builder.finalize();
+        assert_eq!(t.neighbors(0), &[0, 2]);
+        assert_eq!(t.neighbors(1), &[1]);
+        assert_eq!(t.neighbors(2), &[2]);
+        assert_eq!(t.neighbors(3), &[3, 4]);
+        assert_eq!(t.neighbors(4), &[4, 5]);
+        assert_eq!(t.neighbors(5), &[4, 5]);
+        assert_eq!(t.num_entries(), 10);
+    }
+
+    #[test]
+    fn batch_ingest_order_does_not_matter() {
+        let mk = |order: [usize; 3]| {
+            let builder = NeighborTableBuilder::new(1.0, 9, 3);
+            let batches = [
+                vec![(0u32, 0u32), (3, 3), (6, 6)],
+                vec![(1, 1), (4, 4), (7, 7)],
+                vec![(2, 2), (5, 5), (8, 8)],
+            ];
+            for &b in &order {
+                builder.ingest_batch(b, &batches[b]);
+            }
+            builder.finalize()
+        };
+        let a = mk([0, 1, 2]);
+        let b = mk([2, 0, 1]);
+        for id in 0..9 {
+            assert_eq!(a.neighbors(id), b.neighbors(id));
+        }
+    }
+
+    #[test]
+    fn concurrent_ingest() {
+        let n_points = 3000;
+        let n_batches = 3;
+        let builder = NeighborTableBuilder::new(1.0, n_points, n_batches);
+        std::thread::scope(|s| {
+            for b in 0..n_batches {
+                let builder = &builder;
+                s.spawn(move || {
+                    let pairs: Vec<(u32, u32)> = (0..n_points as u32)
+                        .filter(|i| (*i as usize) % n_batches == b)
+                        .flat_map(|i| [(i, i), (i, (i + 1) % n_points as u32)])
+                        .collect();
+                    builder.ingest_batch(b, &pairs);
+                });
+            }
+        });
+        let t = builder.finalize();
+        for i in 0..n_points as u32 {
+            assert_eq!(t.neighbors(i), &[i, (i + 1) % n_points as u32]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ingested by two batches")]
+    fn duplicate_key_across_batches_panics() {
+        let builder = NeighborTableBuilder::new(1.0, 4, 2);
+        builder.ingest_batch(0, &[(0, 0)]);
+        builder.ingest_batch(1, &[(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_panics() {
+        let builder = NeighborTableBuilder::new(1.0, 2, 1);
+        builder.ingest_batch(0, &[(5, 0)]);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let pairs = [(0u32, 0u32), (0, 1), (1, 0), (1, 1), (3, 3)];
+        let t = NeighborTable::from_sorted_pairs(0.75, 4, &pairs);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = NeighborTable::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.eps(), 0.75);
+        assert_eq!(back.neighbors(1), &[0, 1]);
+        assert_eq!(back.neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(NeighborTable::load(&mut &b"not a table at all"[..]).is_err());
+        // Truncated file.
+        let t = NeighborTable::from_sorted_pairs(1.0, 2, &[(0, 0), (1, 1)]);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(NeighborTable::load(&mut buf.as_slice()).is_err());
+        // Corrupt a range end past |B|.
+        let mut buf2 = Vec::new();
+        t.save(&mut buf2).unwrap();
+        // ranges start after 8+4+8+8+8 = 36 bytes; corrupt first range end.
+        buf2[44..52].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(NeighborTable::load(&mut buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn memory_bytes_accounts_table() {
+        let pairs = [(0u32, 0u32), (1, 1)];
+        let t = NeighborTable::from_sorted_pairs(1.0, 2, &pairs);
+        assert_eq!(t.memory_bytes(), 2 * 16 + 2 * 4);
+    }
+}

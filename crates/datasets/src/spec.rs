@@ -1,0 +1,211 @@
+//! The named dataset registry: SW1, SW4, SDSS1, SDSS2, SDSS3.
+//!
+//! Each spec records the published point count and a synthetic domain
+//! whose area gives the density the paper's ε sweeps are calibrated
+//! against. [`DatasetSpec::generate`] materializes the dataset at a chosen
+//! scale (see the crate docs for the density-preserving scaling rule).
+
+use crate::generator::{sdss_class, sw_class};
+use serde::{Deserialize, Serialize};
+use spatial::Point2;
+
+/// Which family a dataset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetClass {
+    /// Space-weather (ionospheric TEC): heavily skewed.
+    SpaceWeather,
+    /// Sloan Digital Sky Survey galaxies: near-uniform.
+    Sdss,
+}
+
+/// A named dataset specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    pub name: &'static str,
+    pub class: DatasetClass,
+    /// Published size of the real dataset.
+    pub full_size: usize,
+    /// Synthetic domain extent at scale = 1 (degrees).
+    pub width: f64,
+    pub height: f64,
+    /// Receiver sites at scale = 1 (SW class only).
+    pub n_sites: usize,
+    /// Generator seed, fixed per dataset so every experiment sees the
+    /// same data.
+    pub seed: u64,
+}
+
+/// SW1: 1,864,620 TEC measurements. Global receiver network footprint.
+pub const SW1: DatasetSpec = DatasetSpec {
+    name: "SW1",
+    class: DatasetClass::SpaceWeather,
+    full_size: 1_864_620,
+    width: 360.0,
+    height: 180.0,
+    n_sites: 3000,
+    seed: 0x5711,
+};
+
+/// SW4: 5,159,737 TEC measurements, same footprint. The larger SW
+/// datasets aggregate more receiver-days, so the site count grows
+/// proportionally with the measurement count (per-site density stays
+/// SW1-like rather than compounding).
+pub const SW4: DatasetSpec = DatasetSpec {
+    name: "SW4",
+    class: DatasetClass::SpaceWeather,
+    full_size: 5_159_737,
+    width: 360.0,
+    height: 180.0,
+    n_sites: 8300,
+    seed: 0x5744,
+};
+
+/// SDSS1: 2·10⁶ galaxies, 0.30 ≤ z ≤ 0.35, DR12 footprint (~9000 deg²).
+pub const SDSS1: DatasetSpec = DatasetSpec {
+    name: "SDSS1",
+    class: DatasetClass::Sdss,
+    full_size: 2_000_000,
+    width: 150.0,
+    height: 60.0,
+    n_sites: 0,
+    seed: 0xd551,
+};
+
+/// SDSS2: 5·10⁶ galaxies, same footprint.
+pub const SDSS2: DatasetSpec = DatasetSpec {
+    name: "SDSS2",
+    class: DatasetClass::Sdss,
+    full_size: 5_000_000,
+    width: 150.0,
+    height: 60.0,
+    n_sites: 0,
+    seed: 0xd552,
+};
+
+/// SDSS3: 15,228,633 galaxies, same footprint.
+pub const SDSS3: DatasetSpec = DatasetSpec {
+    name: "SDSS3",
+    class: DatasetClass::Sdss,
+    full_size: 15_228_633,
+    width: 150.0,
+    height: 60.0,
+    n_sites: 0,
+    seed: 0xd553,
+};
+
+/// All registered specs, in the paper's reporting order.
+pub const ALL: [DatasetSpec; 5] = [SW1, SW4, SDSS1, SDSS2, SDSS3];
+
+/// Look up a spec by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    ALL.iter().find(|s| s.name.eq_ignore_ascii_case(name)).copied()
+}
+
+impl DatasetSpec {
+    /// Materialize the dataset at `scale ∈ (0, 1]`.
+    ///
+    /// Point count scales by `scale`; the domain's linear extent by
+    /// `sqrt(scale)`, keeping density — and thus ε-neighborhood sizes —
+    /// equal to the full-size dataset's.
+    pub fn generate(&self, scale: f64) -> Dataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let n = ((self.full_size as f64 * scale).round() as usize).max(1);
+        let lin = scale.sqrt();
+        let (w, h) = (self.width * lin, self.height * lin);
+        let points = match self.class {
+            DatasetClass::SpaceWeather => {
+                let sites = ((self.n_sites as f64 * scale).round() as usize).max(10);
+                sw_class(n, w, h, sites, self.seed)
+            }
+            DatasetClass::Sdss => sdss_class(n, w, h, self.seed),
+        };
+        Dataset { spec: *self, scale, points }
+    }
+}
+
+/// A materialized dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub spec: DatasetSpec,
+    pub scale: f64,
+    pub points: Vec<Point2>,
+}
+
+impl Dataset {
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial::GridIndex;
+
+    #[test]
+    fn registry_lookup() {
+        assert_eq!(by_name("sw1").unwrap().name, "SW1");
+        assert_eq!(by_name("SDSS3").unwrap().full_size, 15_228_633);
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn full_sizes_match_paper() {
+        assert_eq!(SW1.full_size, 1_864_620);
+        assert_eq!(SW4.full_size, 5_159_737);
+        assert_eq!(SDSS1.full_size, 2_000_000);
+        assert_eq!(SDSS2.full_size, 5_000_000);
+        assert_eq!(SDSS3.full_size, 15_228_633);
+    }
+
+    #[test]
+    fn generate_scales_count() {
+        let d = SDSS1.generate(0.01);
+        assert_eq!(d.len(), 20_000);
+        assert_eq!(d.name(), "SDSS1");
+    }
+
+    #[test]
+    fn density_is_scale_invariant() {
+        // Mean neighbor count at fixed eps should be roughly equal across
+        // scales (the whole point of sqrt-extent scaling).
+        let eps = 0.5;
+        let mean_neighbors = |scale: f64| {
+            let d = SDSS1.generate(scale);
+            let g = GridIndex::build(&d.points, eps);
+            let sample: Vec<_> = d.points.iter().step_by(97).collect();
+            let total: usize = sample.iter().map(|q| g.query_count(&d.points, q)).sum();
+            total as f64 / sample.len() as f64
+        };
+        let lo = mean_neighbors(0.005);
+        let hi = mean_neighbors(0.02);
+        let ratio = hi / lo;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "density drifted across scales: {lo:.2} vs {hi:.2}"
+        );
+    }
+
+    #[test]
+    fn sw_denser_than_sdss_per_area() {
+        // SW1 at scale 1: 1.86M / 64800 deg^2 ~ 29/deg^2.
+        // SDSS1 at scale 1: 2M / 9000 deg^2 ~ 222/deg^2.
+        let sw_density = SW1.full_size as f64 / (SW1.width * SW1.height);
+        let sdss_density = SDSS1.full_size as f64 / (SDSS1.width * SDSS1.height);
+        assert!(sdss_density > sw_density, "survey footprint is denser on average");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = SW1.generate(0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for device operations.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A device allocation exceeded the remaining global-memory capacity —
+    /// the constraint the paper's batching scheme exists to obviate.
+    OutOfMemory {
+        requested_bytes: usize,
+        available_bytes: usize,
+    },
+    /// A kernel appended more results than the output buffer's capacity.
+    /// The batching scheme's overestimation factor α is chosen so this
+    /// never happens; tests assert on it.
+    BufferOverflow {
+        capacity: usize,
+        attempted: usize,
+    },
+    /// A launch configuration violated device limits.
+    InvalidLaunch(String),
+    /// A block requested more shared memory than the per-block limit.
+    SharedMemExceeded {
+        requested_bytes: usize,
+        limit_bytes: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested_bytes, available_bytes } => write!(
+                f,
+                "device out of memory: requested {requested_bytes} B, {available_bytes} B available"
+            ),
+            DeviceError::BufferOverflow { capacity, attempted } => write!(
+                f,
+                "device buffer overflow: capacity {capacity} items, attempted to write {attempted}"
+            ),
+            DeviceError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+            DeviceError::SharedMemExceeded { requested_bytes, limit_bytes } => write!(
+                f,
+                "shared memory request of {requested_bytes} B exceeds per-block limit of {limit_bytes} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DeviceError::OutOfMemory { requested_bytes: 100, available_bytes: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+        let e = DeviceError::BufferOverflow { capacity: 5, attempted: 6 };
+        assert!(e.to_string().contains("overflow"));
+        let e = DeviceError::SharedMemExceeded { requested_bytes: 1, limit_bytes: 2 };
+        assert!(e.to_string().contains("shared memory"));
+    }
+}

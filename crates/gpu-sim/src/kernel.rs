@@ -1,0 +1,453 @@
+//! Kernel execution: the block-synchronous SIMT model.
+//!
+//! A kernel implements [`BlockKernel::run_block`], which executes one
+//! thread block. Inside a block, the CUDA thread structure is simulated in
+//! *barrier-delimited phases*: [`BlockCtx::phase`] runs a closure once per
+//! thread id, and the implicit barrier between phases corresponds to
+//! `__syncthreads()`. Because the threads of a block are simulated
+//! sequentially on one host thread, shared memory is ordinary data
+//! allocated with [`BlockCtx::alloc_shared`] and phases may freely read
+//! what earlier phases wrote — exactly the guarantee `__syncthreads()`
+//! provides on hardware.
+//!
+//! Blocks themselves run in parallel on the host's rayon pool, matching
+//! CUDA's guarantee that distinct blocks only communicate through global
+//! memory atomics.
+//!
+//! ## Cost accounting
+//!
+//! Each simulated thread charges events ([`ThreadCtx`] charge methods) as
+//! it executes. At each phase boundary the per-thread cycle counts are
+//! folded at **warp granularity**: a warp costs the *maximum* over its 32
+//! lanes (SIMT lockstep), so divergent or idle lanes are paid for — the
+//! effect that makes the paper's block-per-cell shared-memory kernel lose
+//! to the thread-per-point global kernel on sparse cells. Per-block cycles
+//! are then converted to a kernel duration by [`crate::cost`].
+
+use crate::cost::{kernel_duration, Counters};
+use crate::device::Device;
+use crate::error::DeviceError;
+use crate::launch::LaunchConfig;
+use crate::time::SimDuration;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-thread execution context handed to phase closures.
+pub struct ThreadCtx {
+    /// Thread index within the block (`threadIdx.x`).
+    pub tid: u32,
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub gid: u64,
+    counters: Counters,
+    cycles: f64,
+    flop_cost: f64,
+    global_word_cost: f64,
+    shared_word_cost: f64,
+    atomic_cost: f64,
+}
+
+impl ThreadCtx {
+    /// Charge `n` floating-point operations.
+    #[inline]
+    pub fn charge_flops(&mut self, n: u64) {
+        self.counters.flops += n;
+        self.cycles += n as f64 * self.flop_cost;
+    }
+
+    /// Charge a global-memory read of `bytes`.
+    #[inline]
+    pub fn charge_global_read(&mut self, bytes: u64) {
+        self.counters.global_read_bytes += bytes;
+        self.cycles += bytes as f64 / 4.0 * self.global_word_cost;
+    }
+
+    /// Charge a global-memory read of `n` elements of type `T`.
+    #[inline]
+    pub fn read_global<T>(&mut self, n: u64) {
+        self.charge_global_read(n * std::mem::size_of::<T>() as u64);
+    }
+
+    /// Charge a global-memory write of `bytes`.
+    #[inline]
+    pub fn charge_global_write(&mut self, bytes: u64) {
+        self.counters.global_write_bytes += bytes;
+        self.cycles += bytes as f64 / 4.0 * self.global_word_cost;
+    }
+
+    /// Charge a global-memory write of `n` elements of type `T`.
+    #[inline]
+    pub fn write_global<T>(&mut self, n: u64) {
+        self.charge_global_write(n * std::mem::size_of::<T>() as u64);
+    }
+
+    /// Charge shared-memory traffic of `bytes` (read or write).
+    #[inline]
+    pub fn charge_shared(&mut self, bytes: u64) {
+        self.counters.shared_bytes += bytes;
+        self.cycles += bytes as f64 / 4.0 * self.shared_word_cost;
+    }
+
+    /// Charge shared-memory traffic of `n` elements of type `T`.
+    #[inline]
+    pub fn access_shared<T>(&mut self, n: u64) {
+        self.charge_shared(n * std::mem::size_of::<T>() as u64);
+    }
+
+    /// Charge one global atomic RMW (e.g. the result-set `atomicAdd`).
+    #[inline]
+    pub fn charge_atomic(&mut self) {
+        self.counters.atomics += 1;
+        self.cycles += self.atomic_cost;
+    }
+}
+
+/// Per-block execution context.
+pub struct BlockCtx {
+    /// `blockIdx.x`.
+    pub block_idx: u32,
+    /// `blockDim.x`.
+    pub block_dim: u32,
+    /// `gridDim.x`.
+    pub grid_dim: u32,
+    warp_size: u32,
+    shared_used: usize,
+    shared_limit: usize,
+    flop_cost: f64,
+    global_word_cost: f64,
+    shared_word_cost: f64,
+    atomic_cost: f64,
+    barrier_cost: f64,
+    block_cycles: f64,
+    counters: Counters,
+}
+
+impl BlockCtx {
+    /// Allocate a shared-memory array of `len` `T`s, checked against the
+    /// per-block shared-memory limit (48 KB on the K20c).
+    pub fn alloc_shared<T: Default + Clone>(&mut self, len: usize) -> Result<Vec<T>, DeviceError> {
+        let bytes = len * std::mem::size_of::<T>();
+        self.shared_used += bytes;
+        if self.shared_used > self.shared_limit {
+            return Err(DeviceError::SharedMemExceeded {
+                requested_bytes: self.shared_used,
+                limit_bytes: self.shared_limit,
+            });
+        }
+        Ok(vec![T::default(); len])
+    }
+
+    /// Execute one barrier-delimited phase: `f` runs once per thread id in
+    /// `0..block_dim`, then per-thread cycles are folded to warp granularity
+    /// (max over lanes) and accumulated into the block cost — the
+    /// `__syncthreads()` accounting point.
+    pub fn phase(&mut self, mut f: impl FnMut(&mut ThreadCtx)) {
+        let mut warp_max = 0.0f64;
+        let mut phase_cycles = 0.0f64;
+        for tid in 0..self.block_dim {
+            let mut t = ThreadCtx {
+                tid,
+                gid: self.block_idx as u64 * self.block_dim as u64 + tid as u64,
+                counters: Counters::default(),
+                cycles: 0.0,
+                flop_cost: self.flop_cost,
+                global_word_cost: self.global_word_cost,
+                shared_word_cost: self.shared_word_cost,
+                atomic_cost: self.atomic_cost,
+            };
+            f(&mut t);
+            self.counters.merge(&t.counters);
+            warp_max = warp_max.max(t.cycles);
+            if (tid + 1) % self.warp_size == 0 {
+                phase_cycles += warp_max;
+                warp_max = 0.0;
+            }
+        }
+        if !self.block_dim.is_multiple_of(self.warp_size) {
+            phase_cycles += warp_max;
+        }
+        // Block cost accumulates in *warp cycles*: the sum over warps of
+        // the per-warp (lockstep max) cost, plus a per-warp barrier charge
+        // at the phase boundary. The cost model divides by the device's
+        // aggregate warp-issue width.
+        let n_warps = self.block_dim.div_ceil(self.warp_size) as f64;
+        self.block_cycles += phase_cycles + self.barrier_cost * n_warps;
+    }
+
+    /// Single-phase helper for kernels with no `__syncthreads()` (the
+    /// global-memory kernel is one phase end to end).
+    pub fn for_each_thread(&mut self, f: impl FnMut(&mut ThreadCtx)) {
+        self.phase(f);
+    }
+}
+
+/// A kernel executable at block granularity.
+pub trait BlockKernel: Sync {
+    /// Execute one thread block. Appends to device buffers happen through
+    /// shared references (atomics), mirroring CUDA global-memory semantics.
+    fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError>;
+}
+
+/// The outcome of a kernel launch: functional side effects live in the
+/// device buffers the kernel wrote; this report carries the modeled
+/// timing and the profiler counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// The launch configuration.
+    pub config: LaunchConfig,
+    /// Total threads launched (`n_GPU` in Table II of the paper).
+    pub threads_launched: u64,
+    /// Modeled kernel duration.
+    pub duration: SimDuration,
+    /// Aggregate event counters.
+    pub counters: Counters,
+    /// Achieved occupancy in `(0, 1]`.
+    pub occupancy: f64,
+}
+
+impl Device {
+    /// Launch `kernel` over `cfg.grid_dim` blocks.
+    ///
+    /// Blocks execute in parallel on the rayon pool; the simulated compute
+    /// engine admits one kernel at a time (single-compute-engine device),
+    /// so concurrent launches from different host threads serialize, as
+    /// the paper observes ("there is very little kernel execution overlap,
+    /// as each invocation saturates GPU resources").
+    pub fn launch<K: BlockKernel>(
+        &self,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<KernelReport, DeviceError> {
+        cfg.validate(self.props())?;
+        let _compute_guard = self.inner.compute_lock.lock();
+
+        let props = self.props();
+        let model = self.cost_model();
+
+        let results: Vec<Result<(f64, Counters), DeviceError>> = (0..cfg.grid_dim)
+            .into_par_iter()
+            .map(|block_idx| {
+                let mut ctx = BlockCtx {
+                    block_idx,
+                    block_dim: cfg.block_dim,
+                    grid_dim: cfg.grid_dim,
+                    warp_size: props.warp_size,
+                    shared_used: 0,
+                    shared_limit: props.shared_mem_per_block,
+                    flop_cost: model.cycles_per_flop,
+                    global_word_cost: model.cycles_per_global_word,
+                    shared_word_cost: model.cycles_per_shared_word,
+                    atomic_cost: model.cycles_per_atomic,
+                    barrier_cost: model.barrier_cycles,
+                    block_cycles: 0.0,
+                    counters: Counters::default(),
+                };
+                kernel.run_block(&mut ctx)?;
+                Ok((ctx.block_cycles, ctx.counters))
+            })
+            .collect();
+
+        let mut block_cycles = Vec::with_capacity(cfg.grid_dim as usize);
+        let mut totals = Counters::default();
+        for r in results {
+            let (cycles, counters) = r?;
+            block_cycles.push(cycles);
+            totals.merge(&counters);
+        }
+
+        let duration = kernel_duration(props, model, &cfg, &block_cycles, &totals);
+        Ok(KernelReport {
+            config: cfg,
+            threads_launched: cfg.total_threads(),
+            duration,
+            counters: totals,
+            occupancy: cfg.occupancy(props),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{DeviceAppendBuffer, DeviceCounter};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Kernel that counts its own threads via a device counter.
+    struct CountThreads<'a> {
+        counter: &'a DeviceCounter,
+        n: u64,
+    }
+
+    impl BlockKernel for CountThreads<'_> {
+        fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+            let n = self.n;
+            let counter = self.counter;
+            ctx.for_each_thread(|t| {
+                if t.gid < n {
+                    t.charge_atomic();
+                    counter.add(1);
+                }
+            });
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn launch_covers_all_threads_once() {
+        let d = Device::k20c();
+        let c = DeviceCounter::new(&d).unwrap();
+        let n = 10_000u64;
+        let cfg = LaunchConfig::for_elements(n as usize, 256);
+        let report = d.launch(cfg, &CountThreads { counter: &c, n }).unwrap();
+        assert_eq!(c.get(), n);
+        assert_eq!(report.threads_launched, cfg.total_threads());
+        assert!(report.duration > SimDuration::ZERO);
+        assert_eq!(report.counters.atomics, n);
+    }
+
+    /// Kernel demonstrating cross-phase shared memory: phase 1 stages
+    /// values, phase 2 reduces them.
+    struct SharedReduce<'a> {
+        out: &'a DeviceAppendBuffer<u64>,
+    }
+
+    impl BlockKernel for SharedReduce<'_> {
+        fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+            let mut shared: Vec<u64> = ctx.alloc_shared(ctx.block_dim as usize)?;
+            ctx.phase(|t| {
+                shared[t.tid as usize] = t.gid;
+                t.access_shared::<u64>(1);
+            });
+            // After the barrier, thread 0 sees every lane's write.
+            let (block_idx, block_dim) = (ctx.block_idx, ctx.block_dim);
+            let out = self.out;
+            ctx.phase(|t| {
+                if t.tid == 0 {
+                    let sum: u64 = shared.iter().sum();
+                    t.access_shared::<u64>(block_dim as u64);
+                    t.charge_atomic();
+                    let _ = block_idx;
+                    out.append(sum).unwrap();
+                }
+            });
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn shared_memory_survives_phase_barrier() {
+        let d = Device::k20c();
+        let mut out = DeviceAppendBuffer::<u64>::new(&d, 4).unwrap();
+        let cfg = LaunchConfig::new(4, 64);
+        d.launch(cfg, &SharedReduce { out: &out }).unwrap();
+        let mut sums = out.as_filled_slice().to_vec();
+        sums.sort_unstable();
+        // Block b covers gids [64b, 64b+63]; sum = 64*64b + 2016.
+        let expected: Vec<u64> = (0..4).map(|b| 64 * 64 * b + 2016).collect();
+        assert_eq!(sums, expected);
+    }
+
+    /// Kernel with one hot lane per warp: warp-max accounting must charge
+    /// the whole warp the hot lane's cost.
+    struct DivergentKernel {
+        heavy_flops: u64,
+    }
+
+    impl BlockKernel for DivergentKernel {
+        fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+            let heavy = self.heavy_flops;
+            ctx.for_each_thread(|t| {
+                if t.tid % 32 == 0 {
+                    t.charge_flops(heavy);
+                } else {
+                    t.charge_flops(1);
+                }
+            });
+            Ok(())
+        }
+    }
+
+    /// A uniform kernel doing the same *total* flops as the divergent one.
+    struct UniformKernel {
+        flops_per_thread: u64,
+    }
+
+    impl BlockKernel for UniformKernel {
+        fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+            let f = self.flops_per_thread;
+            ctx.for_each_thread(|t| t.charge_flops(f));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn divergence_costs_more_than_uniform_work() {
+        let d = Device::k20c();
+        let cfg = LaunchConfig::new(8192, 256);
+        // Divergent: one lane per warp does 32000 flops, 31 lanes do 1.
+        let div = d.launch(cfg, &DivergentKernel { heavy_flops: 32_000 }).unwrap();
+        // Uniform: every lane does the warp-average ~1001 flops.
+        let uni = d.launch(cfg, &UniformKernel { flops_per_thread: 1001 }).unwrap();
+        assert!(
+            div.duration.as_secs() > 5.0 * uni.duration.as_secs(),
+            "warp-max must punish divergence: {} vs {}",
+            div.duration.as_micros(),
+            uni.duration.as_micros()
+        );
+    }
+
+    #[test]
+    fn shared_alloc_limit_enforced() {
+        struct Hog;
+        impl BlockKernel for Hog {
+            fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+                let _a: Vec<u8> = ctx.alloc_shared(40 * 1024)?;
+                let _b: Vec<u8> = ctx.alloc_shared(10 * 1024)?; // 50 KB total
+                Ok(())
+            }
+        }
+        let d = Device::k20c();
+        let err = d.launch(LaunchConfig::new(1, 32), &Hog).unwrap_err();
+        assert!(matches!(err, DeviceError::SharedMemExceeded { .. }));
+    }
+
+    #[test]
+    fn blocks_run_in_parallel() {
+        // Record the maximum number of concurrently-running blocks.
+        struct Concurrency<'a> {
+            current: &'a AtomicU64,
+            peak: &'a AtomicU64,
+        }
+        impl BlockKernel for Concurrency<'_> {
+            fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+                let c = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+                self.peak.fetch_max(c, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                self.current.fetch_sub(1, Ordering::SeqCst);
+                ctx.for_each_thread(|_| {});
+                Ok(())
+            }
+        }
+        let d = Device::k20c();
+        let (current, peak) = (AtomicU64::new(0), AtomicU64::new(0));
+        d.launch(
+            LaunchConfig::new(32, 32),
+            &Concurrency { current: &current, peak: &peak },
+        )
+        .unwrap();
+        if rayon::current_num_threads() > 1 {
+            assert!(peak.load(Ordering::SeqCst) > 1, "blocks should overlap on a multicore host");
+        }
+    }
+
+    #[test]
+    fn invalid_launch_is_rejected_before_execution() {
+        struct Never;
+        impl BlockKernel for Never {
+            fn run_block(&self, _: &mut BlockCtx) -> Result<(), DeviceError> {
+                panic!("must not run");
+            }
+        }
+        let d = Device::k20c();
+        assert!(d.launch(LaunchConfig::new(1, 7), &Never).is_err());
+    }
+}

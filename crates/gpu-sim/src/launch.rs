@@ -1,0 +1,143 @@
+//! Kernel launch configuration and occupancy arithmetic.
+
+use crate::device::DeviceProps;
+use crate::error::DeviceError;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional launch configuration, as used by both of the paper's
+/// kernels ("we only use one memory dimension").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid_dim: u32,
+    /// Threads per block (the paper uses 256).
+    pub block_dim: u32,
+    /// Dynamic shared memory requested per block, in bytes.
+    pub shared_mem_bytes: usize,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        LaunchConfig { grid_dim, block_dim, shared_mem_bytes: 0 }
+    }
+
+    pub fn with_shared_mem(mut self, bytes: usize) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Blocks needed to cover `n` work items at this block size — the
+    /// standard `ceil(n / blockDim)` CUDA idiom.
+    pub fn for_elements(n: usize, block_dim: u32) -> Self {
+        let grid = n.div_ceil(block_dim as usize) as u32;
+        LaunchConfig::new(grid, block_dim)
+    }
+
+    /// Total threads launched — the `n_GPU` quantity of Table II.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+
+    /// Validate against device limits.
+    pub fn validate(&self, props: &DeviceProps) -> Result<(), DeviceError> {
+        if self.block_dim == 0 {
+            return Err(DeviceError::InvalidLaunch("block_dim must be positive".into()));
+        }
+        if self.block_dim > props.max_threads_per_block {
+            return Err(DeviceError::InvalidLaunch(format!(
+                "block_dim {} exceeds device limit {}",
+                self.block_dim, props.max_threads_per_block
+            )));
+        }
+        if !self.block_dim.is_multiple_of(props.warp_size) {
+            return Err(DeviceError::InvalidLaunch(format!(
+                "block_dim {} is not a multiple of the warp size {}",
+                self.block_dim, props.warp_size
+            )));
+        }
+        if self.shared_mem_bytes > props.shared_mem_per_block {
+            return Err(DeviceError::SharedMemExceeded {
+                requested_bytes: self.shared_mem_bytes,
+                limit_bytes: props.shared_mem_per_block,
+            });
+        }
+        Ok(())
+    }
+
+    /// Concurrent blocks one SM can host for this configuration,
+    /// considering the thread, block, and shared-memory limits.
+    pub fn blocks_per_sm(&self, props: &DeviceProps) -> usize {
+        let by_threads = (props.max_threads_per_sm / self.block_dim.max(1)) as usize;
+        let by_blocks = props.max_blocks_per_sm as usize;
+        // Kepler: the per-SM shared capacity equals the per-block limit.
+        let by_shared = props
+            .shared_mem_per_block
+            .checked_div(self.shared_mem_bytes)
+            .unwrap_or(usize::MAX);
+        by_threads.min(by_blocks).min(by_shared).max(1)
+    }
+
+    /// Achieved occupancy (resident threads / max threads per SM), in
+    /// `(0, 1]`.
+    pub fn occupancy(&self, props: &DeviceProps) -> f64 {
+        let resident = self.blocks_per_sm(props) * self.block_dim as usize;
+        (resident as f64 / props.max_threads_per_sm as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props() -> DeviceProps {
+        DeviceProps::k20c()
+    }
+
+    #[test]
+    fn for_elements_rounds_up() {
+        let cfg = LaunchConfig::for_elements(1000, 256);
+        assert_eq!(cfg.grid_dim, 4);
+        assert_eq!(cfg.total_threads(), 1024);
+        let exact = LaunchConfig::for_elements(512, 256);
+        assert_eq!(exact.grid_dim, 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let p = props();
+        assert!(LaunchConfig::new(1, 0).validate(&p).is_err());
+        assert!(LaunchConfig::new(1, 2048).validate(&p).is_err());
+        assert!(LaunchConfig::new(1, 100).validate(&p).is_err(), "not warp-multiple");
+        assert!(LaunchConfig::new(1, 256)
+            .with_shared_mem(64 * 1024)
+            .validate(&p)
+            .is_err());
+        assert!(LaunchConfig::new(65535, 256).validate(&p).is_ok());
+    }
+
+    #[test]
+    fn occupancy_256_threads() {
+        let p = props();
+        let cfg = LaunchConfig::new(100, 256);
+        // 2048 / 256 = 8 blocks, within the 16-block limit -> full occupancy.
+        assert_eq!(cfg.blocks_per_sm(&p), 8);
+        assert_eq!(cfg.occupancy(&p), 1.0);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let p = props();
+        let cfg = LaunchConfig::new(100, 256).with_shared_mem(24 * 1024);
+        assert_eq!(cfg.blocks_per_sm(&p), 2);
+        assert_eq!(cfg.occupancy(&p), 0.25);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_block_limit() {
+        let p = props();
+        let cfg = LaunchConfig::new(100, 32);
+        // 2048/32 = 64 by threads, but max 16 blocks per SM.
+        assert_eq!(cfg.blocks_per_sm(&p), 16);
+        assert_eq!(cfg.occupancy(&p), 0.25);
+    }
+}

@@ -1,0 +1,122 @@
+//! Profiling utilities in the spirit of the NVIDIA Visual Profiler, which
+//! the paper used to obtain Table II (kernel time and `n_GPU`).
+
+use crate::cost::Counters;
+use crate::kernel::KernelReport;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Aggregates kernel launches across a run (e.g. all batches of one
+/// Hybrid-DBSCAN invocation) into headline metrics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelProfile {
+    pub launches: u64,
+    pub total_threads: u64,
+    pub total_blocks: u64,
+    pub total_duration: SimDuration,
+    pub counters: Counters,
+    occupancy_weighted: f64,
+}
+
+impl KernelProfile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one launch report into the profile.
+    pub fn record(&mut self, report: &KernelReport) {
+        self.launches += 1;
+        self.total_threads += report.threads_launched;
+        self.total_blocks += report.config.grid_dim as u64;
+        self.total_duration += report.duration;
+        self.counters.merge(&report.counters);
+        self.occupancy_weighted += report.occupancy * report.duration.as_secs();
+    }
+
+    /// Duration-weighted mean occupancy across recorded launches.
+    pub fn mean_occupancy(&self) -> f64 {
+        let t = self.total_duration.as_secs();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.occupancy_weighted / t
+        }
+    }
+
+    /// Achieved global-memory throughput (GB/s) over kernel time.
+    pub fn global_throughput_gbps(&self) -> f64 {
+        let t = self.total_duration.as_secs();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.counters.global_bytes() as f64 / t / 1e9
+        }
+    }
+
+    /// A compact single-line summary, suitable for the experiment harness.
+    pub fn summary(&self) -> String {
+        format!(
+            "launches={} threads={} blocks={} time={:.3} ms occ={:.2} gmem={:.1} GB/s atomics={}",
+            self.launches,
+            self.total_threads,
+            self.total_blocks,
+            self.total_duration.as_millis(),
+            self.mean_occupancy(),
+            self.global_throughput_gbps(),
+            self.counters.atomics,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::LaunchConfig;
+
+    fn report(threads: u64, ms: f64, occ: f64) -> KernelReport {
+        KernelReport {
+            config: LaunchConfig::for_elements(threads as usize, 256),
+            threads_launched: threads,
+            duration: SimDuration::from_millis(ms),
+            counters: Counters { flops: threads, global_read_bytes: threads * 8, ..Default::default() },
+            occupancy: occ,
+        }
+    }
+
+    #[test]
+    fn profile_accumulates() {
+        let mut p = KernelProfile::new();
+        p.record(&report(1024, 1.0, 1.0));
+        p.record(&report(2048, 3.0, 0.5));
+        assert_eq!(p.launches, 2);
+        assert_eq!(p.total_threads, 3072);
+        assert!((p.total_duration.as_millis() - 4.0).abs() < 1e-9);
+        assert_eq!(p.counters.flops, 3072);
+    }
+
+    #[test]
+    fn mean_occupancy_is_duration_weighted() {
+        let mut p = KernelProfile::new();
+        p.record(&report(1024, 1.0, 1.0));
+        p.record(&report(1024, 3.0, 0.5));
+        // (1.0*1 + 0.5*3) / 4 = 0.625
+        assert!((p.mean_occupancy() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = KernelProfile::new();
+        assert_eq!(p.mean_occupancy(), 0.0);
+        assert_eq!(p.global_throughput_gbps(), 0.0);
+        assert!(p.summary().contains("launches=0"));
+    }
+
+    #[test]
+    fn summary_contains_metrics() {
+        let mut p = KernelProfile::new();
+        p.record(&report(1024, 2.0, 0.8));
+        let s = p.summary();
+        assert!(s.contains("threads=1024"));
+        assert!(s.contains("time=2.000 ms"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Device-side primitives in the style of the CUDA Thrust library.
+//!
+//! Algorithm 4 of the paper leaves the kernel's result set on the GPU and
+//! sorts it by key with `thrust::sort_by_key` so identical keys become
+//! adjacent before the D2H transfer. We reproduce the *contract* (stable
+//! grouping of keys, executed "on the device") and the *cost* (a modeled
+//! device duration derived from radix-sort throughput); the functional
+//! sort runs on the host pool.
+
+use crate::device::Device;
+use crate::time::SimDuration;
+use rayon::prelude::*;
+
+/// Sustained pair-sort throughput of a Kepler-class device running Thrust
+/// radix sort on 8-byte key/value pairs, pairs per second.
+const SORT_PAIRS_PER_SEC: f64 = 500.0e6;
+/// Fixed overhead of a device sort invocation (temporary allocation,
+/// kernel launches of the radix passes).
+const SORT_OVERHEAD_US: f64 = 30.0;
+
+/// Modeled duration of a device `sort_by_key` over `n` pairs.
+pub fn sort_by_key_time(n: usize) -> SimDuration {
+    SimDuration::from_micros(SORT_OVERHEAD_US) + SimDuration::from_secs(n as f64 / SORT_PAIRS_PER_SEC)
+}
+
+/// Sort `(key, value)` pairs by key on the device, returning the modeled
+/// device duration.
+///
+/// Ordering is total (`(key, value)` lexicographic) so results are
+/// deterministic; Thrust's radix `sort_by_key` is likewise stable for our
+/// purposes since the neighbor-table construction only requires identical
+/// keys to be adjacent.
+pub fn sort_by_key(device: &Device, pairs: &mut [(u32, u32)]) -> SimDuration {
+    // Hold the compute engine like any other kernel work.
+    let _guard = device.inner.compute_lock.lock();
+    pairs.par_sort_unstable();
+    sort_by_key_time(pairs.len())
+}
+
+/// Device-side reduction (sum) of a `u64` array, with a modeled duration.
+pub fn reduce_sum(device: &Device, values: &[u64]) -> (u64, SimDuration) {
+    let _guard = device.inner.compute_lock.lock();
+    let sum = values.par_iter().sum();
+    // Reduction is bandwidth-bound: one read pass.
+    let bytes = std::mem::size_of_val(values) as f64;
+    let t = SimDuration::from_micros(10.0)
+        + SimDuration::from_secs(bytes / (device.props().mem_bandwidth_gbps * 1e9));
+    (sum, t)
+}
+
+/// Device-side exclusive prefix scan, with a modeled duration.
+pub fn exclusive_scan(device: &Device, values: &[u32]) -> (Vec<u32>, SimDuration) {
+    let _guard = device.inner.compute_lock.lock();
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0u32;
+    for &v in values {
+        out.push(acc);
+        acc += v;
+    }
+    // Scan reads and writes each element once.
+    let bytes = 2.0 * std::mem::size_of_val(values) as f64;
+    let t = SimDuration::from_micros(10.0)
+        + SimDuration::from_secs(bytes / (device.props().mem_bandwidth_gbps * 1e9));
+    (out, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_groups_identical_keys() {
+        let d = Device::k20c();
+        let mut pairs = vec![(3, 1), (1, 9), (3, 0), (2, 5), (1, 2), (3, 7)];
+        let t = sort_by_key(&d, &mut pairs);
+        assert!(t > SimDuration::ZERO);
+        assert_eq!(pairs, vec![(1, 2), (1, 9), (2, 5), (3, 0), (3, 1), (3, 7)]);
+        // Keys are grouped (the property neighbor-table construction needs).
+        for w in pairs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn sort_time_scales_with_input() {
+        assert!(sort_by_key_time(10_000_000) > sort_by_key_time(10_000));
+        // ~500M pairs/s: 500M pairs should take about a second.
+        let t = sort_by_key_time(500_000_000);
+        assert!((t.as_secs() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reduce_sum_correct() {
+        let d = Device::k20c();
+        let values: Vec<u64> = (1..=1000).collect();
+        let (sum, t) = reduce_sum(&d, &values);
+        assert_eq!(sum, 500_500);
+        assert!(t > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exclusive_scan_correct() {
+        let d = Device::k20c();
+        let (scan, _) = exclusive_scan(&d, &[3, 1, 4, 1, 5]);
+        assert_eq!(scan, vec![0, 3, 4, 8, 9]);
+        let (empty, _) = exclusive_scan(&d, &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn large_parallel_sort_is_correct() {
+        let d = Device::k20c();
+        let n = 100_000u32;
+        let mut pairs: Vec<(u32, u32)> =
+            (0..n).map(|i| ((i.wrapping_mul(2654435761)) % 1000, i)).collect();
+        sort_by_key(&d, &mut pairs);
+        for w in pairs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(pairs.len(), n as usize);
+    }
+}

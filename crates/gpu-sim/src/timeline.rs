@@ -1,0 +1,148 @@
+//! Discrete-event timeline for device engines.
+//!
+//! A GPU of the paper's generation exposes a small set of hardware
+//! *engines* that each execute one operation at a time: a host→device DMA
+//! engine, a device→host DMA engine, and the compute engine. CUDA streams
+//! order operations; distinct streams overlap as long as they occupy
+//! different engines — the mechanism the paper's batching scheme exploits
+//! to hide result-set transfers behind the next batch's kernel.
+//!
+//! [`Timeline`] is the engine-availability ledger; [`crate::stream`] builds
+//! stream schedules on top of it.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An execution engine on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// Host→device DMA.
+    H2D,
+    /// Kernel execution (one kernel at a time).
+    Compute,
+    /// Device→host DMA.
+    D2H,
+    /// A host CPU lane (e.g. one of the batching worker threads that build
+    /// the neighbor table from the staged results).
+    Host(usize),
+}
+
+/// Engine-availability ledger. Engines execute one operation at a time;
+/// scheduling an operation books the engine from `max(ready, free)` for
+/// the operation's duration.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    h2d_free: SimTime,
+    compute_free: SimTime,
+    d2h_free: SimTime,
+    host_free: Vec<SimTime>,
+    end: SimTime,
+}
+
+impl Timeline {
+    /// Create a timeline with `host_lanes` CPU lanes.
+    pub fn new(host_lanes: usize) -> Self {
+        Timeline {
+            h2d_free: SimTime::ZERO,
+            compute_free: SimTime::ZERO,
+            d2h_free: SimTime::ZERO,
+            host_free: vec![SimTime::ZERO; host_lanes.max(1)],
+            end: SimTime::ZERO,
+        }
+    }
+
+    fn engine_free(&mut self, engine: Engine) -> &mut SimTime {
+        match engine {
+            Engine::H2D => &mut self.h2d_free,
+            Engine::Compute => &mut self.compute_free,
+            Engine::D2H => &mut self.d2h_free,
+            Engine::Host(lane) => {
+                let n = self.host_free.len();
+                &mut self.host_free[lane % n]
+            }
+        }
+    }
+
+    /// Earliest start an operation on `engine` could get if it becomes
+    /// ready at `ready`.
+    pub fn earliest_start(&mut self, engine: Engine, ready: SimTime) -> SimTime {
+        (*self.engine_free(engine)).max(ready)
+    }
+
+    /// Book `engine` for an operation ready at `ready` lasting `duration`.
+    /// Returns `(start, end)`.
+    pub fn schedule(
+        &mut self,
+        engine: Engine,
+        ready: SimTime,
+        duration: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let start = self.earliest_start(engine, ready);
+        let end = start + duration;
+        *self.engine_free(engine) = end;
+        self.end = self.end.max(end);
+        (start, end)
+    }
+
+    /// Completion time of the last scheduled operation.
+    pub fn makespan(&self) -> SimDuration {
+        self.end - SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn same_engine_serializes() {
+        let mut t = Timeline::new(1);
+        let (s1, e1) = t.schedule(Engine::Compute, SimTime::ZERO, secs(2.0));
+        let (s2, e2) = t.schedule(Engine::Compute, SimTime::ZERO, secs(3.0));
+        assert_eq!(s1.as_secs(), 0.0);
+        assert_eq!(e1.as_secs(), 2.0);
+        assert_eq!(s2.as_secs(), 2.0, "second op waits for the engine");
+        assert_eq!(e2.as_secs(), 5.0);
+        assert_eq!(t.makespan().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn different_engines_overlap() {
+        let mut t = Timeline::new(1);
+        t.schedule(Engine::Compute, SimTime::ZERO, secs(2.0));
+        let (s, e) = t.schedule(Engine::D2H, SimTime::ZERO, secs(2.0));
+        assert_eq!(s.as_secs(), 0.0, "copy overlaps compute");
+        assert_eq!(e.as_secs(), 2.0);
+        assert_eq!(t.makespan().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn ready_time_is_respected() {
+        let mut t = Timeline::new(1);
+        let (s, _) = t.schedule(Engine::H2D, SimTime::from_secs(5.0), secs(1.0));
+        assert_eq!(s.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn host_lanes_are_independent() {
+        let mut t = Timeline::new(3);
+        let (_, e0) = t.schedule(Engine::Host(0), SimTime::ZERO, secs(4.0));
+        let (s1, _) = t.schedule(Engine::Host(1), SimTime::ZERO, secs(4.0));
+        assert_eq!(s1.as_secs(), 0.0, "distinct lanes overlap");
+        let (s0b, _) = t.schedule(Engine::Host(0), SimTime::ZERO, secs(1.0));
+        assert_eq!(s0b, e0, "same lane serializes");
+    }
+
+    #[test]
+    fn host_lane_indices_wrap() {
+        let mut t = Timeline::new(2);
+        t.schedule(Engine::Host(0), SimTime::ZERO, secs(1.0));
+        // Lane 2 wraps onto lane 0.
+        let (s, _) = t.schedule(Engine::Host(2), SimTime::ZERO, secs(1.0));
+        assert_eq!(s.as_secs(), 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Host↔device transfer model.
+//!
+//! The paper's central systems constraint is the "low-bandwidth host-GPU
+//! bottleneck": a PCIe 2.0 x16 link moving the neighbor-table result set
+//! back to the host. We model a transfer as `latency + bytes / bandwidth`,
+//! with a higher bandwidth for pinned (page-locked) host memory — the
+//! reason the batching scheme stages results through pinned buffers.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a transfer across the host-device link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    HostToDevice,
+    DeviceToHost,
+}
+
+/// Bandwidth/latency parameters of the host-device link, plus the pinned
+/// host-memory allocation cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Achievable bandwidth from pinned host memory, GB/s.
+    pub pinned_gbps: f64,
+    /// Achievable bandwidth from pageable host memory, GB/s (an extra copy
+    /// through a driver staging buffer roughly halves throughput).
+    pub pageable_gbps: f64,
+    /// Per-transfer latency (driver + DMA setup).
+    pub latency: SimDuration,
+    /// Fixed cost of a pinned allocation (page-locking syscall).
+    pub pin_base: SimDuration,
+    /// Incremental pinning cost in GB/s (page-table population rate).
+    /// Pinned allocation is expensive — the paper sizes buffers carefully
+    /// because "pinned memory allocation time can require a substantial
+    /// fraction of the total response time for small datasets".
+    pub pin_gbps: f64,
+}
+
+impl TransferModel {
+    /// PCIe 2.0 x16 profile matching the paper's K20c host link.
+    pub fn pcie2() -> Self {
+        TransferModel {
+            pinned_gbps: 6.0,
+            pageable_gbps: 3.0,
+            latency: SimDuration::from_micros(10.0),
+            pin_base: SimDuration::from_micros(100.0),
+            pin_gbps: 5.0,
+        }
+    }
+
+    /// Duration of a transfer of `bytes` in either direction.
+    pub fn transfer_time(&self, bytes: usize, pinned: bool) -> SimDuration {
+        let gbps = if pinned { self.pinned_gbps } else { self.pageable_gbps };
+        self.latency + SimDuration::from_secs(bytes as f64 / (gbps * 1e9))
+    }
+
+    /// Duration of allocating a pinned host buffer of `bytes`.
+    pub fn pin_time(&self, bytes: usize) -> SimDuration {
+        self.pin_base + SimDuration::from_secs(bytes as f64 / (self.pin_gbps * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_beats_pageable() {
+        let m = TransferModel::pcie2();
+        let bytes = 100 * 1024 * 1024;
+        assert!(m.transfer_time(bytes, true) < m.transfer_time(bytes, false));
+    }
+
+    #[test]
+    fn latency_floors_small_transfers() {
+        let m = TransferModel::pcie2();
+        let t = m.transfer_time(4, true);
+        assert!(t >= m.latency);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = TransferModel::pcie2();
+        let t1 = m.transfer_time(1_000_000, true);
+        let t2 = m.transfer_time(2_000_000, true);
+        assert!(t2 > t1);
+        // 6 GB at 6 GB/s is about a second.
+        let t = m.transfer_time(6_000_000_000, true);
+        assert!((t.as_secs() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pinning_is_expensive_relative_to_reuse() {
+        let m = TransferModel::pcie2();
+        let bytes = 400 * 1024 * 1024;
+        // Pinning a 400 MB staging buffer costs a noticeable fraction of
+        // what transferring it costs — the rationale for not over-allocating.
+        let pin = m.pin_time(bytes);
+        let xfer = m.transfer_time(bytes, true);
+        assert!(pin.as_secs() > 0.5 * xfer.as_secs());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the stream scheduler and timeline: the
+//! overlap machinery must never violate ordering constraints, and its
+//! makespan must always fall between the theoretical bounds.
+
+use gpu_sim::stream::{schedule_chains, OpSpec};
+use gpu_sim::time::SimDuration;
+use gpu_sim::timeline::{Engine, Timeline};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    (0u8..4, 1u32..1000).prop_map(|(engine, ms)| {
+        let engine = match engine {
+            0 => Engine::H2D,
+            1 => Engine::Compute,
+            2 => Engine::D2H,
+            _ => Engine::Host(0),
+        };
+        OpSpec::new(engine, SimDuration::from_millis(ms as f64), "op")
+    })
+}
+
+fn chains_strategy() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 0..6), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn schedule_respects_all_orderings(chains in chains_strategy(), n_streams in 1usize..5) {
+        let mut timeline = Timeline::new(3);
+        let schedule = schedule_chains(&mut timeline, &chains, n_streams);
+
+        // Every operation scheduled exactly once.
+        let total_ops: usize = chains.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(schedule.ops.len(), total_ops);
+
+        // Within a chain, operations run in order.
+        for chain in 0..chains.len() {
+            let mut ops: Vec<_> = schedule.ops.iter().filter(|o| o.chain == chain).collect();
+            ops.sort_by_key(|o| o.op_index);
+            prop_assert_eq!(ops.len(), chains[chain].len());
+            for w in ops.windows(2) {
+                prop_assert!(
+                    w[1].start >= w[0].end,
+                    "chain {} op {} started before op {} ended",
+                    chain, w[1].op_index, w[0].op_index
+                );
+            }
+        }
+
+        // Engines never run two operations at once.
+        let mut by_engine: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        for op in &schedule.ops {
+            by_engine
+                .entry(format!("{:?}", op.engine))
+                .or_default()
+                .push((op.start.as_secs(), op.end.as_secs()));
+        }
+        for (engine, mut spans) in by_engine {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-12,
+                    "engine {} overlaps: {:?} then {:?}", engine, w[0], w[1]
+                );
+            }
+        }
+
+        // A stream runs its chains in issue order.
+        for s in 0..n_streams {
+            let mut chain_spans: HashMap<usize, (f64, f64)> = HashMap::new();
+            for op in schedule.ops.iter().filter(|o| o.stream == s) {
+                let e = chain_spans.entry(op.chain).or_insert((f64::MAX, 0.0));
+                e.0 = e.0.min(op.start.as_secs());
+                e.1 = e.1.max(op.end.as_secs());
+            }
+            let mut chains_on_stream: Vec<_> = chain_spans.into_iter().collect();
+            chains_on_stream.sort_by_key(|(c, _)| *c);
+            for w in chains_on_stream.windows(2) {
+                prop_assert!(
+                    w[1].1 .0 >= w[0].1 .1 - 1e-12,
+                    "stream {} chain {} started before chain {} finished",
+                    s, w[1].0, w[0].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_bounded(chains in chains_strategy(), n_streams in 1usize..5) {
+        let mut timeline = Timeline::new(3);
+        let schedule = schedule_chains(&mut timeline, &chains, n_streams);
+
+        // Upper bound: fully serialized execution.
+        let serial: f64 = chains
+            .iter()
+            .flatten()
+            .map(|op| op.duration.as_secs())
+            .sum();
+        prop_assert!(schedule.makespan.as_secs() <= serial + 1e-9);
+
+        // Lower bounds: the busiest engine, and the longest chain.
+        let mut engine_load: HashMap<String, f64> = HashMap::new();
+        for op in chains.iter().flatten() {
+            // Host lanes spread over 3 lanes; skip them in this bound.
+            if !matches!(op.engine, Engine::Host(_)) {
+                *engine_load.entry(format!("{:?}", op.engine)).or_default() +=
+                    op.duration.as_secs();
+            }
+        }
+        let busiest = engine_load.values().cloned().fold(0.0, f64::max);
+        prop_assert!(schedule.makespan.as_secs() >= busiest - 1e-9);
+
+        let longest_chain = chains
+            .iter()
+            .map(|c| c.iter().map(|op| op.duration.as_secs()).sum::<f64>())
+            .fold(0.0, f64::max);
+        prop_assert!(schedule.makespan.as_secs() >= longest_chain - 1e-9);
+    }
+
+    #[test]
+    fn more_streams_never_slow_the_schedule_down_much(chains in chains_strategy()) {
+        // Greedy scheduling is not optimal, but 3 streams should never be
+        // dramatically worse than 1 (sanity on the overlap machinery).
+        let mut t1 = Timeline::new(3);
+        let one = schedule_chains(&mut t1, &chains, 1);
+        let mut t3 = Timeline::new(3);
+        let three = schedule_chains(&mut t3, &chains, 3);
+        prop_assert!(
+            three.makespan.as_secs() <= one.makespan.as_secs() * 1.5 + 1e-9,
+            "3 streams {} vs 1 stream {}",
+            three.makespan.as_secs(),
+            one.makespan.as_secs()
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! The grid index `(G, A)` of Section IV (Figure 1 of the paper).
+//!
+//! The data extent is covered by cells of ε length in both x and y, so the
+//! ε-neighborhood of any point is fully contained in the point's own cell
+//! plus its (at most 8) adjacent cells. The index is stored as two flat
+//! arrays, exactly as on the GPU:
+//!
+//! * `G` (here [`GridIndex::cells`]) — one [`CellRange`] per cell `C_h`,
+//!   holding the `[A_min_h, A_max_h]` range of that cell's points in `A`;
+//! * `A` (here [`GridIndex::lookup`]) — the lookup array of point ids,
+//!   grouped by cell. Since every point lives in exactly one cell,
+//!   `|A| = |D|` and no per-cell over-allocation is needed.
+//!
+//! Cells are linearized row-major: `h = cy * nx + cx`.
+
+use crate::aabb::Aabb;
+use crate::point::Point2;
+use serde::{Deserialize, Serialize};
+
+/// Index range of one grid cell into the lookup array `A`.
+///
+/// The paper stores inclusive `[A_min, A_max]`; we store the conventional
+/// half-open `[start, end)` (`end = A_max + 1`), which also represents empty
+/// cells without a sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRange {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl CellRange {
+    pub const EMPTY: CellRange = CellRange { start: 0, end: 0 };
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Summary statistics of a built grid, reported by the experiment harness
+/// and used to reason about kernel efficiency (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridStats {
+    /// Total number of cells `|G| = nx · ny`.
+    pub total_cells: usize,
+    /// Number of cells containing at least one point.
+    pub non_empty_cells: usize,
+    /// Largest cell population.
+    pub max_points_per_cell: usize,
+    /// Mean population over non-empty cells.
+    pub avg_points_per_non_empty_cell: f64,
+}
+
+
+/// The geometric parameters of a grid — the "device constants" a GPU
+/// kernel needs to map points to cells and enumerate adjacent cells,
+/// independent of the `G`/`A` arrays. Copyable so it can be captured by
+/// kernels directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridGeometry {
+    pub eps: f64,
+    pub origin_x: f64,
+    pub origin_y: f64,
+    pub nx: usize,
+    pub ny: usize,
+}
+
+impl GridGeometry {
+    /// Linear cell id containing `p` (coordinates clamped to the border
+    /// cells; only correct for points within the indexed extent).
+    #[inline]
+    pub fn cell_of(&self, p: &Point2) -> usize {
+        let cx = (((p.x - self.origin_x) / self.eps) as usize).min(self.nx - 1);
+        let cy = (((p.y - self.origin_y) / self.eps) as usize).min(self.ny - 1);
+        cy * self.nx + cx
+    }
+
+    /// `(cx, cy)` coordinates of a linear cell id.
+    #[inline]
+    pub fn cell_coords(&self, h: usize) -> (usize, usize) {
+        (h % self.nx, h / self.nx)
+    }
+
+    /// The `getNeighborCells` primitive of Algorithms 2 and 3: linear ids
+    /// of the at-most-9 cells that can contain points within ε of points
+    /// in cell `h`. Returns a fixed array with the first `count` entries
+    /// valid — no allocation in kernel inner loops.
+    #[inline]
+    pub fn neighbor_cells(&self, h: usize) -> ([u32; 9], usize) {
+        let (cx, cy) = self.cell_coords(h);
+        let mut out = [0u32; 9];
+        let mut n = 0;
+        let x_lo = cx.saturating_sub(1);
+        let x_hi = (cx + 1).min(self.nx - 1);
+        let y_lo = cy.saturating_sub(1);
+        let y_hi = (cy + 1).min(self.ny - 1);
+        for y in y_lo..=y_hi {
+            for x in x_lo..=x_hi {
+                out[n] = (y * self.nx + x) as u32;
+                n += 1;
+            }
+        }
+        (out, n)
+    }
+}
+
+/// The grid index over a point database `D` for a fixed ε.
+///
+/// # Figure 1 of the paper, as code
+///
+/// `G` holds per-cell ranges, `A` holds point ids grouped by cell, and
+/// point ids in `A` index back into `D`:
+///
+/// ```
+/// use spatial::{GridIndex, Point2};
+///
+/// // Three points in cell (0,0), one in cell (1,0), eps = 1.
+/// let d = vec![
+///     Point2::new(0.1, 0.1), // id 0
+///     Point2::new(1.5, 0.5), // id 1 — the lone point of cell (1,0)
+///     Point2::new(0.9, 0.2), // id 2
+///     Point2::new(0.5, 0.6), // id 3
+/// ];
+/// let g = GridIndex::build(&d, 1.0);
+///
+/// // Cell C_h of the first point: a contiguous [start, end) range into A…
+/// let h = g.cell_of(&d[0]);
+/// let range = g.cells()[h];
+/// let members = &g.lookup()[range.start as usize..range.end as usize];
+/// // …listing exactly the ids located in that cell (0, 2 and 3 here),
+/// // even though those points are not contiguous in D.
+/// let mut m = members.to_vec();
+/// m.sort();
+/// assert_eq!(m, vec![0, 2, 3]);
+///
+/// // |A| = |D|: every point appears in exactly one cell's range.
+/// assert_eq!(g.lookup().len(), d.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    geom: GridGeometry,
+    /// `G`: per-cell ranges into `lookup`.
+    cells: Vec<CellRange>,
+    /// `A`: point ids grouped by cell; `|A| = |D|`.
+    lookup: Vec<u32>,
+    /// Linear ids of non-empty cells, ascending — the schedule `S` consumed
+    /// by the GPUCalcShared kernel (one block per non-empty cell).
+    non_empty: Vec<u32>,
+    max_per_cell: usize,
+}
+
+impl GridIndex {
+    /// Build the index over `data` with cell width `eps`.
+    ///
+    /// `eps` must be finite and positive, and `data` non-empty. Construction
+    /// is a two-pass counting sort: `O(|D| + |G|)`.
+    pub fn build(data: &[Point2], eps: f64) -> Self {
+        assert!(eps.is_finite() && eps > 0.0, "eps must be finite and positive");
+        assert!(!data.is_empty(), "cannot index an empty database");
+
+        let bounds = Aabb::from_points(data.iter());
+        // One cell of slack on the max edge so points exactly on the
+        // boundary fall inside the last cell without clamping artifacts.
+        let nx = (((bounds.max_x - bounds.min_x) / eps).floor() as usize) + 1;
+        let ny = (((bounds.max_y - bounds.min_y) / eps).floor() as usize) + 1;
+        // The dense cell array G is O(nx * ny); an eps far below the data
+        // spacing would blow it up. 2^28 cells ~ 2 GB of G, the practical
+        // ceiling on the simulated 5 GB device.
+        assert!(
+            nx.checked_mul(ny).is_some_and(|c| c <= 1 << 28),
+            "grid of {nx} x {ny} cells exceeds the 2^28-cell limit; eps {eps} is too              small relative to the data extent"
+        );
+
+        let mut index = GridIndex {
+            geom: GridGeometry { eps, origin_x: bounds.min_x, origin_y: bounds.min_y, nx, ny },
+            cells: vec![CellRange::EMPTY; nx * ny],
+            lookup: vec![0; data.len()],
+            non_empty: Vec::new(),
+            max_per_cell: 0,
+        };
+
+        // Pass 1: histogram cell populations.
+        let mut counts = vec![0u32; nx * ny];
+        for p in data {
+            counts[index.cell_of(p)] += 1;
+        }
+
+        // Exclusive prefix sum -> per-cell start offsets, and cell ranges.
+        let mut offset = 0u32;
+        for (h, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                index.cells[h] = CellRange { start: offset, end: offset + c };
+                index.non_empty.push(h as u32);
+                index.max_per_cell = index.max_per_cell.max(c as usize);
+            }
+            offset += c;
+        }
+
+        // Pass 2: scatter point ids into A. Using a cursor per cell keeps
+        // ids in ascending order within each cell (data order), which the
+        // batching scheme's strided sampling relies on.
+        let mut cursor: Vec<u32> = index.cells.iter().map(|r| r.start).collect();
+        for (i, p) in data.iter().enumerate() {
+            let h = index.cell_of(p);
+            index.lookup[cursor[h] as usize] = i as u32;
+            cursor[h] += 1;
+        }
+
+        index
+    }
+
+    /// Cell width ε the grid was built for.
+    pub fn eps(&self) -> f64 {
+        self.geom.eps
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.geom.nx, self.geom.ny)
+    }
+
+    /// The copyable geometric parameters (for GPU kernels).
+    pub fn geometry(&self) -> GridGeometry {
+        self.geom
+    }
+
+    /// The cell array `G`.
+    pub fn cells(&self) -> &[CellRange] {
+        &self.cells
+    }
+
+    /// The lookup array `A` of point ids grouped by cell.
+    pub fn lookup(&self) -> &[u32] {
+        &self.lookup
+    }
+
+    /// Linear ids of non-empty cells — the schedule `S` for GPUCalcShared.
+    pub fn non_empty_cells(&self) -> &[u32] {
+        &self.non_empty
+    }
+
+    /// Largest cell population.
+    pub fn max_points_per_cell(&self) -> usize {
+        self.max_per_cell
+    }
+
+    /// Linear cell id containing point `p` (which must lie within the
+    /// indexed extent; out-of-extent coordinates are clamped to the border
+    /// cells, which is only correct for query points drawn from `D`).
+    #[inline]
+    pub fn cell_of(&self, p: &Point2) -> usize {
+        self.geom.cell_of(p)
+    }
+
+    /// `(cx, cy)` coordinates of a linear cell id.
+    #[inline]
+    pub fn cell_coords(&self, h: usize) -> (usize, usize) {
+        self.geom.cell_coords(h)
+    }
+
+    /// The `getNeighborCells` primitive of Algorithms 2 and 3: the linear
+    /// ids of the at-most-9 cells (the cell itself plus adjacent cells)
+    /// that can contain points within ε of points in cell `h`. Returns the
+    /// count and a fixed array (first `count` entries valid), avoiding any
+    /// allocation in kernel inner loops.
+    #[inline]
+    pub fn neighbor_cells(&self, h: usize) -> ([u32; 9], usize) {
+        self.geom.neighbor_cells(h)
+    }
+
+    /// ε-neighborhood query through the grid: ids of every point of `data`
+    /// within the closed ε-ball around `q`. `data` must be the array the
+    /// index was built from. Results are in cell-scan order (not sorted).
+    pub fn query(&self, data: &[Point2], q: &Point2) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_visit(data, q, |id| out.push(id));
+        out
+    }
+
+    /// Visitor-based ε-neighborhood query (no allocation).
+    #[inline]
+    pub fn query_visit(&self, data: &[Point2], q: &Point2, mut visit: impl FnMut(u32)) {
+        let eps_sq = self.geom.eps * self.geom.eps;
+        let (cells, n) = self.neighbor_cells(self.cell_of(q));
+        for &h in &cells[..n] {
+            let range = self.cells[h as usize];
+            for &id in &self.lookup[range.start as usize..range.end as usize] {
+                if data[id as usize].distance_sq(q) <= eps_sq {
+                    visit(id);
+                }
+            }
+        }
+    }
+
+    /// Count of points within the closed ε-ball around `q`.
+    pub fn query_count(&self, data: &[Point2], q: &Point2) -> usize {
+        let mut n = 0;
+        self.query_visit(data, q, |_| n += 1);
+        n
+    }
+
+    /// Summary statistics for reporting.
+    pub fn stats(&self) -> GridStats {
+        let non_empty = self.non_empty.len();
+        GridStats {
+            total_cells: self.cells.len(),
+            non_empty_cells: non_empty,
+            max_points_per_cell: self.max_per_cell,
+            avg_points_per_non_empty_cell: if non_empty == 0 {
+                0.0
+            } else {
+                self.lookup.len() as f64 / non_empty as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::brute_force_neighbors;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    fn demo_points() -> Vec<Point2> {
+        vec![
+            Point2::new(0.1, 0.1),
+            Point2::new(0.2, 0.15),
+            Point2::new(0.9, 0.9),
+            Point2::new(2.5, 2.5),
+            Point2::new(2.6, 2.4),
+            Point2::new(5.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn lookup_is_a_permutation_of_ids() {
+        let data = demo_points();
+        let g = GridIndex::build(&data, 0.5);
+        let mut ids = g.lookup().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..data.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cell_ranges_partition_lookup() {
+        let data = demo_points();
+        let g = GridIndex::build(&data, 0.5);
+        let total: usize = g.cells().iter().map(|r| r.len()).sum();
+        assert_eq!(total, data.len());
+        // Ranges of non-empty cells are disjoint and ordered.
+        let mut prev_end = 0;
+        for &h in g.non_empty_cells() {
+            let r = g.cells()[h as usize];
+            assert_eq!(r.start, prev_end, "ranges must be contiguous in cell order");
+            assert!(r.end > r.start);
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end as usize, data.len());
+    }
+
+    #[test]
+    fn every_point_is_in_its_own_cell_range() {
+        let data = demo_points();
+        let g = GridIndex::build(&data, 0.5);
+        for (i, p) in data.iter().enumerate() {
+            let r = g.cells()[g.cell_of(p)];
+            let members = &g.lookup()[r.start as usize..r.end as usize];
+            assert!(members.contains(&(i as u32)), "point {i} missing from its cell");
+        }
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let data = demo_points();
+        for eps in [0.2, 0.5, 1.0, 3.0] {
+            let g = GridIndex::build(&data, eps);
+            for q in &data {
+                assert_eq!(
+                    sorted(g.query(&data, q)),
+                    brute_force_neighbors(&data, q, eps),
+                    "eps = {eps}, q = {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_cells_interior_is_nine() {
+        // 5x5 grid: put points at the corners of a 4eps x 4eps extent.
+        let data = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(2.0, 2.0),
+        ];
+        let g = GridIndex::build(&data, 1.0);
+        assert_eq!(g.dims(), (5, 5));
+        let center = g.cell_of(&Point2::new(2.0, 2.0));
+        let (_, n) = g.neighbor_cells(center);
+        assert_eq!(n, 9);
+        // Corner cell has only 4 neighbors (itself + 3).
+        let corner = g.cell_of(&Point2::new(0.0, 0.0));
+        let (_, n) = g.neighbor_cells(corner);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn neighbor_cells_cover_eps_ball() {
+        // Any two points within eps must be in mutually-neighboring cells.
+        let data = vec![
+            Point2::new(0.95, 0.95),
+            Point2::new(1.05, 1.05), // across a cell boundary, within eps
+            Point2::new(3.0, 3.0),
+        ];
+        let g = GridIndex::build(&data, 1.0);
+        let q = g.query(&data, &data[0]);
+        assert!(q.contains(&1), "cross-boundary neighbor must be found");
+    }
+
+    #[test]
+    fn single_point_database() {
+        let data = vec![Point2::new(7.0, -3.0)];
+        let g = GridIndex::build(&data, 0.25);
+        assert_eq!(g.dims(), (1, 1));
+        assert_eq!(g.query(&data, &data[0]), vec![0]);
+        assert_eq!(g.stats().non_empty_cells, 1);
+    }
+
+    #[test]
+    fn boundary_point_on_max_edge() {
+        let data = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let g = GridIndex::build(&data, 0.5);
+        // The max-corner point must land in a valid cell and be queryable.
+        assert_eq!(g.query_count(&data, &data[1]), 1);
+    }
+
+    #[test]
+    fn stats_reflect_population() {
+        let data = demo_points();
+        let g = GridIndex::build(&data, 0.5);
+        let s = g.stats();
+        assert_eq!(s.non_empty_cells, g.non_empty_cells().len());
+        assert!(s.max_points_per_cell >= 2, "two points share the (0,0) cell");
+        assert!(s.avg_points_per_non_empty_cell >= 1.0);
+        assert_eq!(s.total_cells, g.dims().0 * g.dims().1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_database_panics() {
+        let _ = GridIndex::build(&[], 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! A bulk-built kd-tree over 2-D points.
+//!
+//! Not part of the paper's system — included as an additional neighbor
+//! source for the index-ablation benches (grid vs R-tree vs kd-tree on the
+//! host path), as called out in DESIGN.md §5.
+
+use crate::point::Point2;
+
+/// Leaf size below which nodes store points directly and scan linearly.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+enum KdNode {
+    Leaf {
+        /// (id, point) pairs.
+        entries: Vec<(u32, Point2)>,
+    },
+    Split {
+        /// 0 = x, 1 = y.
+        axis: u8,
+        /// Splitting coordinate: left subtree holds points with
+        /// `coord <= value`, right subtree the rest.
+        value: f64,
+        left: Box<KdNode>,
+        right: Box<KdNode>,
+    },
+}
+
+/// A static kd-tree supporting ε-range queries.
+#[derive(Debug)]
+pub struct KdTree {
+    root: Option<KdNode>,
+    size: usize,
+}
+
+impl KdTree {
+    /// Build from a point slice; ids are input indices. `O(n log² n)`.
+    pub fn build(data: &[Point2]) -> Self {
+        let entries: Vec<(u32, Point2)> =
+            data.iter().copied().enumerate().map(|(i, p)| (i as u32, p)).collect();
+        let root = if entries.is_empty() { None } else { Some(Self::build_rec(entries, 0)) };
+        KdTree { root, size: data.len() }
+    }
+
+    fn build_rec(mut entries: Vec<(u32, Point2)>, depth: usize) -> KdNode {
+        if entries.len() <= LEAF_SIZE {
+            return KdNode::Leaf { entries };
+        }
+        let axis = (depth % 2) as u8;
+        let mid = entries.len() / 2;
+        entries.select_nth_unstable_by(mid, |a, b| {
+            let ka = if axis == 0 { a.1.x } else { a.1.y };
+            let kb = if axis == 0 { b.1.x } else { b.1.y };
+            ka.total_cmp(&kb)
+        });
+        let value = {
+            let p = entries[mid].1;
+            if axis == 0 {
+                p.x
+            } else {
+                p.y
+            }
+        };
+        let right = entries.split_off(mid);
+        KdNode::Split {
+            axis,
+            value,
+            left: Box::new(Self::build_rec(entries, depth + 1)),
+            right: Box::new(Self::build_rec(right, depth + 1)),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Ids of every indexed point within the closed ε-ball around `q`.
+    pub fn query_eps(&self, q: &Point2, eps: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_eps_visit(q, eps, |id| out.push(id));
+        out
+    }
+
+    /// Visitor-based ε-range query.
+    pub fn query_eps_visit(&self, q: &Point2, eps: f64, mut visit: impl FnMut(u32)) {
+        let Some(root) = &self.root else { return };
+        let eps_sq = eps * eps;
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            match node {
+                KdNode::Leaf { entries } => {
+                    for (id, p) in entries {
+                        if p.distance_sq(q) <= eps_sq {
+                            visit(*id);
+                        }
+                    }
+                }
+                KdNode::Split { axis, value, left, right } => {
+                    let coord = if *axis == 0 { q.x } else { q.y };
+                    // Closed ball: descend both sides when the splitting
+                    // plane is within eps.
+                    if coord - eps <= *value {
+                        stack.push(left);
+                    }
+                    if coord + eps >= *value {
+                        stack.push(right);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of points within the closed ε-ball around `q`.
+    pub fn query_eps_count(&self, q: &Point2, eps: f64) -> usize {
+        let mut n = 0;
+        self.query_eps_visit(q, eps, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::brute_force_neighbors;
+
+    fn spiral(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                Point2::new(t * t.cos(), t * t.sin())
+            })
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let data = spiral(500);
+        let t = KdTree::build(&data);
+        for eps in [0.1, 1.0, 5.0] {
+            for q in data.iter().step_by(37) {
+                assert_eq!(
+                    sorted(t.query_eps(q, eps)),
+                    brute_force_neighbors(&data, q, eps),
+                    "eps = {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.query_eps(&Point2::new(0.0, 0.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn all_duplicates() {
+        let data = vec![Point2::new(2.0, 3.0); 100];
+        let t = KdTree::build(&data);
+        assert_eq!(t.query_eps_count(&data[0], 0.0), 100);
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let data = spiral(200);
+        let t = KdTree::build(&data);
+        for q in data.iter().step_by(23) {
+            assert_eq!(t.query_eps_count(q, 2.0), t.query_eps(q, 2.0).len());
+        }
+    }
+
+    #[test]
+    fn boundary_inclusion() {
+        let data = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        let t = KdTree::build(&data);
+        assert_eq!(t.query_eps_count(&data[0], 1.0), 2, "closed ball includes eps boundary");
+    }
+}

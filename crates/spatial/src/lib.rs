@@ -1,0 +1,30 @@
+//! Spatial indexing substrate for Hybrid-DBSCAN.
+//!
+//! This crate provides the index structures the paper depends on:
+//!
+//! * [`grid`] — the GPU-friendly grid index `(G, A)` of Section IV: ε×ε
+//!   cells over the data extent, a cell array `G` holding `[A_min, A_max]`
+//!   ranges, and a lookup array `A` with `|A| = |D|` (Figure 1 of the paper).
+//! * [`rtree`] — a classical R-tree (Guttman quadratic split plus STR bulk
+//!   loading) used by the *reference implementation* the paper compares
+//!   against (sequential DBSCAN, Table I / Figure 3).
+//! * [`kdtree`] — an additional comparator used by the ablation benches.
+//! * [`presort`] — the unit-width x/y binning pre-sort applied to the point
+//!   database before grid construction to improve access locality.
+//!
+//! All structures operate on 2-D points ([`Point2`]); the paper restricts
+//! itself to spatial (2-D) data.
+
+pub mod aabb;
+pub mod distance;
+pub mod grid;
+pub mod kdtree;
+pub mod point;
+pub mod presort;
+pub mod rtree;
+
+pub use aabb::Aabb;
+pub use grid::{GridGeometry, GridIndex, GridStats};
+pub use kdtree::KdTree;
+pub use point::Point2;
+pub use rtree::{RTree, RTreeStats};

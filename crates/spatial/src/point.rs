@@ -1,0 +1,93 @@
+//! 2-D point type shared by every index and by the clustering algorithms.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D plane.
+///
+/// The paper clusters spatial data defined by `(x, y)` coordinates
+/// (ionospheric TEC measurements and galaxy positions). We use `f64`
+/// throughout so the host reference implementation and the simulated-GPU
+/// path compute bit-identical distances, which lets the test suite demand
+/// exact agreement between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Create a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Preferred over [`Point2::distance`] in inner loops: the ε-comparison
+    /// `dist(p, q) <= ε` is evaluated as `dist²(p, q) <= ε²`, avoiding the
+    /// square root exactly as the CUDA kernels in the paper do.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point2) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Whether `other` lies within the closed ε-ball centred on `self`.
+    ///
+    /// DBSCAN's ε-neighborhood is defined with `dist(p, q) <= ε`
+    /// (closed ball), so points exactly at distance ε are neighbors.
+    #[inline]
+    pub fn within_eps(&self, other: &Point2, eps: f64) -> bool {
+        self.distance_sq(other) <= eps * eps
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(-1.5, 2.25);
+        let b = Point2::new(7.0, -3.5);
+        assert_eq!(a.distance_sq(&b), b.distance_sq(&a));
+    }
+
+    #[test]
+    fn within_eps_is_closed_ball() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        assert!(a.within_eps(&b, 1.0), "boundary point must be a neighbor");
+        assert!(!a.within_eps(&b, 0.999));
+        // A point is always within eps of itself, even for eps = 0.
+        assert!(a.within_eps(&a, 0.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point2 = (1.0, 2.0).into();
+        assert_eq!(p, Point2::new(1.0, 2.0));
+    }
+}

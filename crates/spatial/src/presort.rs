@@ -1,0 +1,150 @@
+//! Spatial pre-sort of the point database (Section IV of the paper).
+//!
+//! Before building the grid index, the paper bins `p_i ∈ D` in the x and y
+//! dimensions "of unit width such that points in similar spatial locations
+//! will be stored nearby each other in memory". Two properties of the
+//! pipeline depend on this:
+//!
+//! 1. **Locality** — threads of the GPU kernels that process nearby points
+//!    touch nearby entries of `D`, improving (simulated) coalescing.
+//! 2. **Uniform batch sampling** — the batching scheme of Section VI samples
+//!    every `n_b`-th point of the *sorted* array and relies on that stride
+//!    being a roughly uniform spatial sample, so the per-batch result sizes
+//!    `|R_l|` stay consistent (Figure 2).
+
+use crate::point::Point2;
+
+/// The permutation produced by a spatial sort: `order[k]` is the index in
+/// the *original* array of the point that sorts to position `k`.
+#[derive(Debug, Clone)]
+pub struct SortPermutation {
+    order: Vec<u32>,
+}
+
+impl SortPermutation {
+    /// Apply the permutation, producing the sorted point array.
+    pub fn apply(&self, data: &[Point2]) -> Vec<Point2> {
+        self.order.iter().map(|&i| data[i as usize]).collect()
+    }
+
+    /// Original index of the point now at sorted position `k`.
+    pub fn original_index(&self, k: usize) -> u32 {
+        self.order[k]
+    }
+
+    /// The raw permutation slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.order
+    }
+
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Key for the unit-width binning: `(floor(y), floor(x))` in row-major
+/// order, ties broken by the exact coordinates so the sort is total and
+/// deterministic.
+fn bin_key(p: &Point2) -> (i64, i64) {
+    (p.y.floor() as i64, p.x.floor() as i64)
+}
+
+/// Compute the unit-bin spatial sort permutation for `data`.
+///
+/// Points are ordered by their unit-width (1×1) bin, row-major, and by
+/// `(y, x)` within a bin. The sort is stable with respect to exact ties, so
+/// identical inputs always produce identical permutations.
+pub fn spatial_sort_permutation(data: &[Point2]) -> SortPermutation {
+    let mut order: Vec<u32> = (0..data.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (pa, pb) = (&data[a as usize], &data[b as usize]);
+        bin_key(pa)
+            .cmp(&bin_key(pb))
+            .then(pa.y.total_cmp(&pb.y))
+            .then(pa.x.total_cmp(&pb.x))
+            .then(a.cmp(&b))
+    });
+    SortPermutation { order }
+}
+
+/// Convenience: return the spatially sorted copy of `data`.
+pub fn spatial_sort(data: &[Point2]) -> Vec<Point2> {
+    spatial_sort_permutation(data).apply(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let data = vec![
+            Point2::new(5.5, 5.5),
+            Point2::new(0.1, 0.1),
+            Point2::new(0.9, 0.2),
+            Point2::new(5.1, 0.5),
+        ];
+        let perm = spatial_sort_permutation(&data);
+        let mut seen = vec![false; data.len()];
+        for k in 0..perm.len() {
+            let i = perm.original_index(k) as usize;
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bins_group_contiguously() {
+        let data = vec![
+            Point2::new(3.5, 3.5), // bin (3,3)
+            Point2::new(0.5, 0.5), // bin (0,0)
+            Point2::new(3.4, 3.9), // bin (3,3)
+            Point2::new(0.2, 0.8), // bin (0,0)
+        ];
+        let sorted = spatial_sort(&data);
+        // (0,0)-bin points first, then (3,3)-bin points.
+        assert!(sorted[0].x < 1.0 && sorted[1].x < 1.0);
+        assert!(sorted[2].x > 3.0 && sorted[3].x > 3.0);
+    }
+
+    #[test]
+    fn sorted_order_is_row_major() {
+        let data = vec![
+            Point2::new(2.5, 0.5), // row 0, col 2
+            Point2::new(0.5, 1.5), // row 1, col 0
+            Point2::new(0.5, 0.5), // row 0, col 0
+        ];
+        let sorted = spatial_sort(&data);
+        assert_eq!(sorted[0], Point2::new(0.5, 0.5));
+        assert_eq!(sorted[1], Point2::new(2.5, 0.5));
+        assert_eq!(sorted[2], Point2::new(0.5, 1.5));
+    }
+
+    #[test]
+    fn deterministic_on_duplicates() {
+        let data = vec![Point2::new(1.0, 1.0); 5];
+        let p1 = spatial_sort_permutation(&data);
+        let p2 = spatial_sort_permutation(&data);
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+
+    #[test]
+    fn negative_coordinates_bin_correctly() {
+        // floor(-0.5) = -1, so (-0.5, -0.5) sorts before (0.5, 0.5).
+        let data = vec![Point2::new(0.5, 0.5), Point2::new(-0.5, -0.5)];
+        let sorted = spatial_sort(&data);
+        assert_eq!(sorted[0], Point2::new(-0.5, -0.5));
+    }
+
+    #[test]
+    fn empty_input() {
+        let perm = spatial_sort_permutation(&[]);
+        assert!(perm.is_empty());
+        assert!(spatial_sort(&[]).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Splice measured results (from `repro all --csv results`) into
+EXPERIMENTS.md's placeholder markers.
+
+Usage: python3 scripts/fill_experiments.py
+Reads:  results/*.csv, EXPERIMENTS.md
+Writes: EXPERIMENTS.md (markers replaced by markdown tables)
+"""
+
+import csv
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(name):
+    path = os.path.join(ROOT, "results", f"{name}.csv")
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def fmt_secs(s):
+    s = float(s)
+    return f"{s*1e3:.1f} ms" if s < 1.0 else f"{s:.2f} s"
+
+
+def md_table(header, rows):
+    out = ["| " + " | ".join(header) + " |", "|" + "---|" * len(header)]
+    for r in rows:
+        out.append("| " + " | ".join(r) + " |")
+    return "\n".join(out)
+
+
+def table1():
+    rows = [
+        [r["dataset"], f'{float(r["eps"]):.2f}', f'{float(r["fraction"]):.3f}',
+         f'{float(r["paper_fraction"]):.3f}', fmt_secs(r["total_secs"])]
+        for r in read("table1")
+    ]
+    return md_table(["Dataset", "ε", "measured frac.", "paper frac.", "total"], rows)
+
+
+def table2():
+    rows = []
+    for r in read("table2"):
+        ratio = float(r["shared_ms"]) / max(float(r["global_ms"]), 1e-12)
+        rows.append([
+            r["dataset"], f'{float(r["eps"]):.2f}',
+            f'{float(r["global_ms"]):.3f}', r["global_ngpu"],
+            f'{float(r["shared_ms"]):.3f}', r["shared_ngpu"], f"{ratio:.2f}×",
+        ])
+    return md_table(
+        ["Dataset", "ε", "Global ms", "Global n_GPU", "Shared ms", "Shared n_GPU", "Shared/Global"],
+        rows,
+    )
+
+
+def figure3():
+    per = {}
+    for r in read("figure3"):
+        d = per.setdefault(r["dataset"], [])
+        d.append((float(r["eps"]), float(r["ref_secs"]) / max(float(r["hybrid_total_secs"]), 1e-12)))
+    rows = []
+    for name, pts in per.items():
+        s = [v for _, v in pts]
+        rows.append([
+            name, str(len(pts)),
+            f"{min(s):.2f}×", f"{max(s):.2f}×",
+            f"{sum(s)/len(s):.2f}×",
+            "yes" if min(s) > 1.0 else "no",
+        ])
+    return md_table(
+        ["Dataset", "ε values", "min speedup", "max speedup", "mean speedup", "hybrid wins at every ε"],
+        rows,
+    )
+
+
+def figure4():
+    rows = []
+    for r in read("figure4"):
+        ref, npl, pl = (float(r["ref_secs"]), float(r["non_pipelined_secs"]),
+                        float(r["pipelined_secs"]))
+        rows.append([
+            r["dataset"], fmt_secs(ref), fmt_secs(npl), fmt_secs(pl),
+            f"{ref/pl:.2f}×", f"{npl/pl:.2f}×",
+        ])
+    paper = {"SW1": (3.36, 1.42), "SW4": (3.81, 1.45), "SDSS1": (3.48, 1.56),
+             "SDSS2": (4.04, 1.60), "SDSS3": (5.13, 1.66)}
+    for row in rows:
+        a, b = paper.get(row[0], ("-", "-"))
+        row.append(f"{a}× / {b}×" if a != "-" else "-")
+    return md_table(
+        ["Dataset", "Reference", "Non-pipelined", "Pipelined",
+         "vs ref", "vs non-pipelined", "paper (vs ref / vs non-pipelined)"],
+        rows,
+    )
+
+
+def figure5():
+    per = {}
+    for r in read("figure5"):
+        key = (r["dataset"], float(r["eps"]))
+        per.setdefault(key, {})[int(r["threads"])] = float(r["total_secs"])
+    rows = []
+    for (name, eps), by_t in sorted(per.items()):
+        t1, t16 = by_t.get(1), by_t.get(16)
+        rows.append([name, f"{eps:.2f}", fmt_secs(str(t1)), fmt_secs(str(t16)),
+                     f"{t1/max(t16,1e-12):.2f}×"])
+    return md_table(["Dataset", "ε", "total @1 thread", "total @16 threads", "1→16 speedup"], rows)
+
+
+def figure6():
+    rows = [
+        [r["dataset"], f'{float(r["eps"]):.2f}', fmt_secs(r["reuse_total_secs"]),
+         fmt_secs(r["ref_total_secs"]), f'{float(r["speedup"]):.1f}×']
+        for r in read("figure6")
+    ]
+    return md_table(["Dataset", "ε", "Reuse total (16 threads)", "Reference total (16 runs)", "Speedup"], rows)
+
+
+def main():
+    fills = {
+        "<!-- TABLE1 -->": table1(),
+        "<!-- TABLE2 -->": table2(),
+        "<!-- FIGURE3 -->": figure3(),
+        "<!-- FIGURE4 -->": figure4(),
+        "<!-- FIGURE5 -->": figure5(),
+        "<!-- FIGURE6 -->": figure6(),
+        "<!-- RAW -->": "Raw harness output: `repro_all_output.txt`; row data: `results/*.csv`.",
+    }
+    path = os.path.join(ROOT, "EXPERIMENTS.md")
+    text = open(path).read()
+    for marker, content in fills.items():
+        if marker not in text:
+            print(f"marker {marker} missing", file=sys.stderr)
+            continue
+        text = text.replace(marker, content)
+    open(path, "w").write(text)
+    print("EXPERIMENTS.md filled")
+
+
+if __name__ == "__main__":
+    main()

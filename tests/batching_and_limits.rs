@@ -1,0 +1,145 @@
+//! Integration tests of the batching scheme against device memory limits:
+//! buffer overflows must never corrupt results, constrained devices must
+//! still cluster correctly, and the scheme's structural promises
+//! (consistent batch sizes, pinned staging reuse) must hold end to end.
+
+use hybrid_dbscan::core::batch::BatchConfig;
+use hybrid_dbscan::core::hybrid::{HybridConfig, HybridDbscan, HybridError, KernelChoice};
+use hybrid_dbscan::core::reference::ReferenceDbscan;
+use hybrid_dbscan::datasets::spec;
+use hybrid_dbscan::gpu_sim::error::DeviceError;
+use hybrid_dbscan::gpu_sim::Device;
+use hybrid_dbscan::spatial::Point2;
+
+fn data(name: &str, scale: f64) -> Vec<Point2> {
+    spec::by_name(name).unwrap().generate(scale).points
+}
+
+#[test]
+fn default_alpha_never_needs_retries() {
+    // The paper's claim: with the strided assignment and alpha = 0.05,
+    // batch result sizes are consistent enough that buffers never
+    // overflow. Verify over both dataset classes and several eps.
+    let device = Device::k20c();
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+    for name in ["SW1", "SDSS1"] {
+        let d = data(name, 0.002);
+        for eps in [0.1, 0.5, 1.0] {
+            let handle = hybrid.build_table(&d, eps).unwrap();
+            assert_eq!(handle.gpu.retries, 0, "{name} eps={eps} needed retries");
+        }
+    }
+}
+
+#[test]
+fn batch_sizes_are_consistent() {
+    // |R_l| should be within ~2x of each other thanks to the strided
+    // uniform sampling (the property that lets alpha stay at 5%).
+    let device = Device::k20c();
+    let d = data("SW1", 0.003);
+    let cfg = HybridConfig {
+        batch: BatchConfig {
+            static_threshold: 0,
+            static_buffer_items: 40_000,
+            ..BatchConfig::default()
+        },
+        ..HybridConfig::default()
+    };
+    let hybrid = HybridDbscan::new(&device, cfg);
+    let handle = hybrid.build_table(&d, 0.4).unwrap();
+    assert!(handle.gpu.n_batches >= 4, "need several batches, got {}", handle.gpu.n_batches);
+    // Total pairs spread over n_b batches: every batch must have fit in
+    // the buffer, and the average utilization should be substantial.
+    let avg = handle.gpu.result_pairs / handle.gpu.n_batches;
+    assert!(avg <= 40_000);
+    assert!(
+        avg * 3 >= 40_000,
+        "buffers badly under-filled: avg {} of 40000",
+        avg
+    );
+}
+
+#[test]
+fn tiny_device_still_clusters_correctly() {
+    // 2 MB of "global memory": D + G + A + three result buffers must be
+    // squeezed in by the memory-fitting logic, at the price of more
+    // batches.
+    let d = data("SDSS1", 0.002);
+    let device = Device::tiny(2 * 1024 * 1024);
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+    let result = hybrid.run(&d, 0.5, 4).unwrap();
+    assert!(result.gpu.n_batches > 1, "tiny device must batch");
+    let reference = ReferenceDbscan::new(0.5, 4).run(&d);
+    assert_eq!(result.clustering.labels(), reference.clustering.labels());
+    assert_eq!(device.used_bytes(), 0);
+}
+
+#[test]
+fn impossible_device_reports_out_of_memory() {
+    // Too small even for the input data.
+    let d = data("SDSS1", 0.002);
+    let device = Device::tiny(1024);
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+    match hybrid.run(&d, 0.5, 4) {
+        Err(HybridError::Device(DeviceError::OutOfMemory { .. })) => {}
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+    assert_eq!(device.used_bytes(), 0, "failed runs must not leak device memory");
+}
+
+#[test]
+fn shared_kernel_respects_tiny_buffers_via_packing() {
+    // The load-bound cell packing must keep the shared kernel inside its
+    // buffers even when a single dense cell dominates.
+    let mut d = data("SW1", 0.002);
+    // Add an extreme clump: 800 coincident-ish points in one cell.
+    for i in 0..800 {
+        d.push(Point2::new(5.0 + (i % 10) as f64 * 1e-4, 5.0 + (i / 10) as f64 * 1e-4));
+    }
+    let device = Device::k20c();
+    let cfg = HybridConfig {
+        kernel: KernelChoice::Shared,
+        batch: BatchConfig {
+            static_threshold: 0,
+            static_buffer_items: 10_000, // far below the clump's 640k pairs
+            ..BatchConfig::default()
+        },
+        ..HybridConfig::default()
+    };
+    let hybrid = HybridDbscan::new(&device, cfg);
+    let result = hybrid.run(&d, 0.3, 4).unwrap();
+    let reference = ReferenceDbscan::new(0.3, 4).run(&d);
+    assert_eq!(result.clustering.labels(), reference.clustering.labels());
+}
+
+#[test]
+fn result_pairs_scale_with_eps() {
+    // Larger eps -> strictly more neighbor pairs (monotone result sets).
+    let device = Device::k20c();
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+    let d = data("SDSS1", 0.002);
+    let mut last = 0;
+    for eps in [0.1, 0.2, 0.4, 0.8] {
+        let handle = hybrid.build_table(&d, eps).unwrap();
+        assert!(
+            handle.gpu.result_pairs >= last,
+            "pairs must grow with eps: {} then {}",
+            last,
+            handle.gpu.result_pairs
+        );
+        last = handle.gpu.result_pairs;
+    }
+    // Self-pairs are a hard floor.
+    assert!(last >= d.len(), "every point pairs with itself at least");
+}
+
+#[test]
+fn modeled_gpu_time_grows_with_workload() {
+    let device = Device::k20c();
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+    let d = data("SDSS1", 0.002);
+    let small = hybrid.build_table(&d, 0.1).unwrap();
+    let large = hybrid.build_table(&d, 1.0).unwrap();
+    assert!(large.gpu.modeled_time > small.gpu.modeled_time);
+    assert!(large.gpu.result_pairs > 10 * small.gpu.result_pairs);
+}

@@ -37,33 +37,45 @@ fn bench_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("index-queries");
     group.throughput(criterion::Throughput::Elements(queries.len() as u64));
 
-    group.bench_with_input(BenchmarkId::new("grid", queries.len()), &queries, |b, qs| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for q in qs {
-                grid.query_visit(&data, q, |_| hits += 1);
-            }
-            hits
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("rtree", queries.len()), &queries, |b, qs| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for q in qs {
-                rtree.query_eps_visit(q, eps, |_, _| hits += 1);
-            }
-            hits
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("kdtree", queries.len()), &queries, |b, qs| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for q in qs {
-                kdtree.query_eps_visit(q, eps, |_| hits += 1);
-            }
-            hits
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("grid", queries.len()),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in qs {
+                    grid.query_visit(&data, q, |_| hits += 1);
+                }
+                hits
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rtree", queries.len()),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in qs {
+                    rtree.query_eps_visit(q, eps, |_, _| hits += 1);
+                }
+                hits
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("kdtree", queries.len()),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in qs {
+                    kdtree.query_eps_visit(q, eps, |_| hits += 1);
+                }
+                hits
+            })
+        },
+    );
     group.finish();
 }
 

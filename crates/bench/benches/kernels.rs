@@ -18,7 +18,10 @@ fn capacity_bound(grid: &GridIndex) -> usize {
         .map(|&h| {
             let m = grid.cells()[h as usize].len();
             let (adj, n) = grid.neighbor_cells(h as usize);
-            let nb: usize = adj[..n].iter().map(|&a| grid.cells()[a as usize].len()).sum();
+            let nb: usize = adj[..n]
+                .iter()
+                .map(|&a| grid.cells()[a as usize].len())
+                .sum();
             m * nb
         })
         .sum()
@@ -29,7 +32,10 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
     group.sample_size(10);
 
-    for (name, spec) in [("SW1", datasets::spec::SW1), ("SDSS1", datasets::spec::SDSS1)] {
+    for (name, spec) in [
+        ("SW1", datasets::spec::SW1),
+        ("SDSS1", datasets::spec::SDSS1),
+    ] {
         let data = spatial_sort(&spec.generate(0.002).points);
         let eps = 0.3;
         let grid = GridIndex::build(&data, eps);

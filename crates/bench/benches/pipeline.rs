@@ -12,8 +12,10 @@ use hybrid_dbscan_core::scenario::Variant;
 fn bench_pipeline(c: &mut Criterion) {
     let device = Device::k20c();
     let data = datasets::spec::SDSS1.generate(0.002).points;
-    let variants: Vec<Variant> =
-        [0.2, 0.35, 0.5, 0.65, 0.8].iter().map(|&e| Variant::new(e, 4)).collect();
+    let variants: Vec<Variant> = [0.2, 0.35, 0.5, 0.65, 0.8]
+        .iter()
+        .map(|&e| Variant::new(e, 4))
+        .collect();
 
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
@@ -24,7 +26,10 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, &consumers| {
                 let pipeline = MultiClusterPipeline::new(
                     &device,
-                    PipelineConfig { consumers, ..Default::default() },
+                    PipelineConfig {
+                        consumers,
+                        ..Default::default()
+                    },
                 );
                 b.iter(|| pipeline.run(&data, &variants).unwrap())
             },

@@ -42,7 +42,13 @@ pub fn gdbscan(opts: &Options) {
     let mut cache = DatasetCache::new(opts.scale);
     let selected = opts.select(&["SDSS1"]);
     let mut t = TextTable::new(&[
-        "Dataset", "n", "Hybrid", "G-DBSCAN", "(graph)", "CUDA-DClust", "(launches)",
+        "Dataset",
+        "n",
+        "Hybrid",
+        "G-DBSCAN",
+        "(graph)",
+        "CUDA-DClust",
+        "(launches)",
     ]);
     for name in &selected {
         let full = cache.get(name).points.clone();
@@ -51,8 +57,11 @@ pub fn gdbscan(opts: &Options) {
             if target > full.len() {
                 continue;
             }
-            let data: Vec<_> =
-                full.iter().step_by((full.len() / target).max(1)).copied().collect();
+            let data: Vec<_> = full
+                .iter()
+                .step_by((full.len() / target).max(1))
+                .copied()
+                .collect();
             let hybrid = HybridDbscan::new(&device, HybridConfig::default());
             let h = hybrid.run(&data, eps, 4).expect("hybrid failed");
             let g = g_dbscan(&device, &data, eps, 4).expect("g-dbscan failed");
@@ -94,7 +103,13 @@ pub fn bandwidth(opts: &Options) {
         ("PCIe4", 24.0, 12.0),
         ("NVLink-class", 80.0, 40.0),
     ];
-    let mut t = TextTable::new(&["Dataset", "link", "pinned GB/s", "GPU phase", "d2h (serial sum)"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "link",
+        "pinned GB/s",
+        "GPU phase",
+        "d2h (serial sum)",
+    ]);
     for name in &selected {
         let data = cache.get(name).points.clone();
         for (label, pinned, pageable) in links {
@@ -169,13 +184,15 @@ pub fn blocksize(opts: &Options) {
             .map(|&h| {
                 let m = grid.cells()[h as usize].len();
                 let (adj, n) = grid.neighbor_cells(h as usize);
-                let nb: usize = adj[..n].iter().map(|&a| grid.cells()[a as usize].len()).sum();
+                let nb: usize = adj[..n]
+                    .iter()
+                    .map(|&a| grid.cells()[a as usize].len())
+                    .sum();
                 m * nb
             })
             .sum();
         for block in [32u32, 64, 128, 256, 512] {
-            let mut result =
-                DeviceAppendBuffer::<NeighborPair>::new(&device, bound + 64).unwrap();
+            let mut result = DeviceAppendBuffer::<NeighborPair>::new(&device, bound + 64).unwrap();
             let kernel = GpuCalcShared {
                 data: &data,
                 grid_cells: grid.cells(),
@@ -218,12 +235,20 @@ pub fn index(opts: &Options) {
                 let clusters = f();
                 (t0.elapsed().as_secs_f64(), clusters)
             };
-            let (tg, cg) =
-                time(&|| Dbscan::new(4).run(&GridSource::new(&grid, &data)).num_clusters());
-            let (tr, cr) =
-                time(&|| Dbscan::new(4).run(&RTreeSource::new(&rtree, &data, eps)).num_clusters());
+            let (tg, cg) = time(&|| {
+                Dbscan::new(4)
+                    .run(&GridSource::new(&grid, &data))
+                    .num_clusters()
+            });
+            let (tr, cr) = time(&|| {
+                Dbscan::new(4)
+                    .run(&RTreeSource::new(&rtree, &data, eps))
+                    .num_clusters()
+            });
             let (tk, ck) = time(&|| {
-                Dbscan::new(4).run(&KdTreeSource::new(&kdtree, &data, eps)).num_clusters()
+                Dbscan::new(4)
+                    .run(&KdTreeSource::new(&kdtree, &data, eps))
+                    .num_clusters()
             });
             assert_eq!(cg, cr);
             assert_eq!(cg, ck);
@@ -283,7 +308,11 @@ pub fn hybrid_split(opts: &Options) {
     let mut cache = DatasetCache::new(opts.scale);
     let selected = opts.select(&["SW1", "SDSS1"]);
     let mut t = TextTable::new(&[
-        "Dataset", "dense cells", "Global ms", "Shared ms", "Split ms",
+        "Dataset",
+        "dense cells",
+        "Global ms",
+        "Shared ms",
+        "Split ms",
     ]);
     for name in &selected {
         let data = spatial_sort(&cache.get(name).points);
@@ -295,7 +324,10 @@ pub fn hybrid_split(opts: &Options) {
             .map(|&h| {
                 let m = grid.cells()[h as usize].len();
                 let (adj, n) = grid.neighbor_cells(h as usize);
-                let nb: usize = adj[..n].iter().map(|&a| grid.cells()[a as usize].len()).sum();
+                let nb: usize = adj[..n]
+                    .iter()
+                    .map(|&a| grid.cells()[a as usize].len())
+                    .sum();
                 m * nb
             })
             .sum();
@@ -374,7 +406,11 @@ pub fn hybrid_split(opts: &Options) {
             };
             device.launch(mk.launch_config(256), &mk).unwrap()
         };
-        assert_eq!(result.len(), global_pairs, "split union must equal full result");
+        assert_eq!(
+            result.len(),
+            global_pairs,
+            "split union must equal full result"
+        );
         result.reset();
 
         let split_ms = shared_part.as_ref().map_or(0.0, |r| r.duration.as_millis())

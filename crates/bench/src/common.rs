@@ -2,8 +2,10 @@
 //! materialization, option parsing, and table formatting.
 
 use datasets::{spec, Dataset};
+use obs::Recorder;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Harness-wide options, parsed from the command line.
 #[derive(Debug, Clone)]
@@ -20,11 +22,24 @@ pub struct Options {
     /// When set, experiments also write their rows as CSV files here
     /// (for plotting).
     pub csv_dir: Option<PathBuf>,
+    /// When set, instrumented experiments write a Chrome trace-event JSON
+    /// file here (open with Perfetto / chrome://tracing).
+    pub trace: Option<PathBuf>,
+    /// When set, instrumented experiments write a metrics-snapshot JSON
+    /// file here (counters, gauges, histograms).
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: 0.02, datasets: Vec::new(), trials: 1, csv_dir: None }
+        Options {
+            scale: 0.02,
+            datasets: Vec::new(),
+            trials: 1,
+            csv_dir: None,
+            trace: None,
+            metrics: None,
+        }
     }
 }
 
@@ -62,6 +77,16 @@ impl Options {
                     opts.csv_dir = Some(PathBuf::from(v));
                     i += 2;
                 }
+                "--trace" => {
+                    let (path, used) = optional_path(args, i, "trace.json");
+                    opts.trace = Some(path);
+                    i += used;
+                }
+                "--metrics" => {
+                    let (path, used) = optional_path(args, i, "metrics.json");
+                    opts.metrics = Some(path);
+                    i += used;
+                }
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -76,6 +101,46 @@ impl Options {
             self.datasets.clone()
         }
     }
+
+    /// A shared [`Recorder`] when `--trace` or `--metrics` was requested;
+    /// `None` keeps the uninstrumented fast path.
+    pub fn recorder(&self) -> Option<Arc<Recorder>> {
+        if self.trace.is_some() || self.metrics.is_some() {
+            Some(Arc::new(Recorder::new()))
+        } else {
+            None
+        }
+    }
+
+    /// Write the requested observability artifacts (`--trace` /
+    /// `--metrics`) from `rec`.
+    pub fn write_observability(&self, rec: &Recorder) {
+        if let Some(path) = &self.trace {
+            match std::fs::write(path, rec.chrome_trace_json()) {
+                Ok(()) => eprintln!(
+                    "# trace: wrote {} (open with https://ui.perfetto.dev)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("# trace: cannot write {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.metrics {
+            match std::fs::write(path, rec.metrics_json()) {
+                Ok(()) => eprintln!("# metrics: wrote {}", path.display()),
+                Err(e) => eprintln!("# metrics: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Parse an optional path operand for flags like `--trace [path]`: uses
+/// the next argument unless it is absent or another flag, falling back to
+/// `default`. Returns the path and how many arguments were consumed.
+fn optional_path(args: &[String], i: usize, default: &str) -> (PathBuf, usize) {
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => (PathBuf::from(v), 2),
+        _ => (PathBuf::from(default), 1),
+    }
 }
 
 /// Materializes datasets lazily and caches them for the run.
@@ -86,7 +151,10 @@ pub struct DatasetCache {
 
 impl DatasetCache {
     pub fn new(scale: f64) -> Self {
-        DatasetCache { scale, cache: HashMap::new() }
+        DatasetCache {
+            scale,
+            cache: HashMap::new(),
+        }
     }
 
     pub fn scale(&self) -> f64 {
@@ -97,8 +165,7 @@ impl DatasetCache {
     pub fn get(&mut self, name: &str) -> &Dataset {
         let key = name.to_uppercase();
         self.cache.entry(key.clone()).or_insert_with(|| {
-            let spec = spec::by_name(&key)
-                .unwrap_or_else(|| panic!("unknown dataset '{key}'"));
+            let spec = spec::by_name(&key).unwrap_or_else(|| panic!("unknown dataset '{key}'"));
             eprintln!(
                 "# generating {key} at scale {} ({} points)…",
                 self.scale,
@@ -117,7 +184,10 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -147,7 +217,10 @@ impl TextTable {
             line
         };
         out.push_str(&fmt_row(&self.header, &widths));
-        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+        ));
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
         }

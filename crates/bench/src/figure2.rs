@@ -22,8 +22,9 @@ pub fn render(n_points: usize, n_batches: usize) -> String {
     }
     out.push('\n');
     for l in 0..n_batches {
-        let pts: Vec<String> =
-            batch_points(n_points, n_batches, l).map(|i| (i + 1).to_string()).collect();
+        let pts: Vec<String> = batch_points(n_points, n_batches, l)
+            .map(|i| (i + 1).to_string())
+            .collect();
         out.push_str(&format!(
             "\nbatch {} (gid g -> point g*{n_batches}+{l}): points {}",
             l + 1,

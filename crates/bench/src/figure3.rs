@@ -39,7 +39,9 @@ pub fn run(opts: &Options) -> Vec<Row> {
         let data = cache.get(name).points.clone();
         for v in scenario::s2_variants(name) {
             let r = ReferenceDbscan::new(v.eps, v.minpts).run(&data);
-            let h = hybrid.run(&data, v.eps, v.minpts).expect("hybrid run failed");
+            let h = hybrid
+                .run(&data, v.eps, v.minpts)
+                .expect("hybrid run failed");
             assert_eq!(
                 h.clustering.labels(),
                 r.clustering.labels(),
@@ -90,7 +92,15 @@ pub fn print(opts: &Options) {
     let rows = run(opts);
     opts.write_csv(
         "figure3",
-        &["dataset", "eps", "ref_secs", "hybrid_total_secs", "hybrid_dbscan_secs", "hybrid_gpu_secs", "clusters"],
+        &[
+            "dataset",
+            "eps",
+            "ref_secs",
+            "hybrid_total_secs",
+            "hybrid_dbscan_secs",
+            "hybrid_gpu_secs",
+            "clusters",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -117,7 +127,13 @@ pub fn print(opts: &Options) {
             current = r.dataset.clone();
             println!("--- {} (minpts = 4) ---", current);
             table = Some(TextTable::new(&[
-                "eps", "Ref", "Hybrid total", "Hybrid DBSCAN", "Hybrid GPU", "speedup", "clusters",
+                "eps",
+                "Ref",
+                "Hybrid total",
+                "Hybrid DBSCAN",
+                "Hybrid GPU",
+                "speedup",
+                "clusters",
             ]));
         }
         table.as_mut().unwrap().row(vec![

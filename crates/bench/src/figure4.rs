@@ -44,7 +44,11 @@ impl Row {
 /// Run the three approaches over each dataset's S2 sweep.
 pub fn run(opts: &Options) -> Vec<Row> {
     let device = Device::k20c();
-    let pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default());
+    let mut pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default());
+    let recorder = opts.recorder();
+    if let Some(rec) = &recorder {
+        pipeline = pipeline.with_recorder(rec.clone());
+    }
     let mut cache = DatasetCache::new(opts.scale);
     let selected = opts.select(&["SW1", "SW4", "SDSS1", "SDSS2", "SDSS3"]);
     let mut rows = Vec::new();
@@ -56,7 +60,10 @@ pub fn run(opts: &Options) -> Vec<Row> {
         // Reference: each variant clustered individually, summed.
         let mut ref_secs = 0.0;
         for v in &variants {
-            ref_secs += ReferenceDbscan::new(v.eps, v.minpts).run(&data).total_time.as_secs();
+            ref_secs += ReferenceDbscan::new(v.eps, v.minpts)
+                .run(&data)
+                .total_time
+                .as_secs();
         }
 
         // Hybrid: one pipelined run yields both totals (the non-pipelined
@@ -77,6 +84,9 @@ pub fn run(opts: &Options) -> Vec<Row> {
             fmt_secs(rows.last().unwrap().pipelined_secs)
         );
     }
+    if let Some(rec) = &recorder {
+        opts.write_observability(rec);
+    }
     rows
 }
 
@@ -89,7 +99,13 @@ pub fn print(opts: &Options) {
     let rows = run(opts);
     opts.write_csv(
         "figure4",
-        &["dataset", "variants", "ref_secs", "non_pipelined_secs", "pipelined_secs"],
+        &[
+            "dataset",
+            "variants",
+            "ref_secs",
+            "non_pipelined_secs",
+            "pipelined_secs",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -105,7 +121,11 @@ pub fn print(opts: &Options) {
     );
 
     let mut t = TextTable::new(&[
-        "Dataset", "variants", "Reference", "Non-pipelined", "Pipelined",
+        "Dataset",
+        "variants",
+        "Reference",
+        "Non-pipelined",
+        "Pipelined",
     ]);
     for r in &rows {
         t.row(vec![
@@ -119,9 +139,7 @@ pub fn print(opts: &Options) {
     t.print();
 
     println!("\n-- Table IV: speedups of pipelined Hybrid-DBSCAN --");
-    let mut t = TextTable::new(&[
-        "Dataset", "vs Ref", "paper", "vs Non-pipelined", "paper",
-    ]);
+    let mut t = TextTable::new(&["Dataset", "vs Ref", "paper", "vs Non-pipelined", "paper"]);
     for r in &rows {
         let paper = PAPER_SPEEDUPS.iter().find(|(d, ..)| *d == r.dataset);
         t.row(vec![

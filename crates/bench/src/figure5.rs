@@ -69,7 +69,14 @@ pub fn print(opts: &Options) {
     let rows = run(opts);
     opts.write_csv(
         "figure5",
-        &["dataset", "eps", "threads", "table_secs", "dbscan_secs", "total_secs"],
+        &[
+            "dataset",
+            "eps",
+            "threads",
+            "table_secs",
+            "dbscan_secs",
+            "total_secs",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -95,8 +102,16 @@ pub fn print(opts: &Options) {
             }
             key = (r.dataset.clone(), r.eps);
             base_total = r.total_secs;
-            println!("--- {} (eps = {:.2}, 16 minpts variants) ---", r.dataset, r.eps);
-            table = Some(TextTable::new(&["threads", "DBSCAN", "Total", "speedup vs 1 thread"]));
+            println!(
+                "--- {} (eps = {:.2}, 16 minpts variants) ---",
+                r.dataset, r.eps
+            );
+            table = Some(TextTable::new(&[
+                "threads",
+                "DBSCAN",
+                "Total",
+                "speedup vs 1 thread",
+            ]));
         }
         table.as_mut().unwrap().row(vec![
             r.threads.to_string(),

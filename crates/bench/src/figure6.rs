@@ -94,7 +94,14 @@ pub fn print(opts: &Options) {
     let rows = run(opts);
     opts.write_csv(
         "figure6",
-        &["dataset", "eps", "variants", "reuse_total_secs", "ref_total_secs", "speedup"],
+        &[
+            "dataset",
+            "eps",
+            "variants",
+            "reuse_total_secs",
+            "ref_total_secs",
+            "speedup",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -110,7 +117,12 @@ pub fn print(opts: &Options) {
             .collect::<Vec<_>>(),
     );
     let mut t = TextTable::new(&[
-        "Dataset", "eps", "variants", "Reuse total", "Ref total", "Speedup",
+        "Dataset",
+        "eps",
+        "variants",
+        "Reuse total",
+        "Ref total",
+        "Speedup",
     ]);
     for r in &rows {
         t.row(vec![

@@ -22,7 +22,9 @@
 //! published ε values — stay meaningful). `--quick` is `--scale 0.005`.
 
 use bench::common::Options;
-use bench::{ablations, figure2, figure3, figure4, figure5, figure6, scenarios, schedule, table1, table2};
+use bench::{
+    ablations, figure2, figure3, figure4, figure5, figure6, scenarios, schedule, table1, table2,
+};
 
 fn run_ablations(opts: &Options) {
     ablations::gdbscan(opts);
@@ -48,7 +50,7 @@ fn main() {
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         println!(
-            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--quick]"
+            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule."
         );
         return;
     }
@@ -59,7 +61,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    eprintln!("# scale = {} (of published dataset sizes), trials = {}", opts.scale, opts.trials);
+    eprintln!(
+        "# scale = {} (of published dataset sizes), trials = {}",
+        opts.scale, opts.trials
+    );
 
     match cmd.as_str() {
         "table1" => table1::print(&opts),

@@ -30,7 +30,11 @@ pub fn print_table3() {
     for name in scenario::DATASETS {
         let vs = scenario::s2_variants(name);
         let eps: Vec<f64> = vs.iter().map(|v| v.eps).collect();
-        t.row(vec![name.to_string(), fmt_eps_list(&eps), vs.len().to_string()]);
+        t.row(vec![
+            name.to_string(),
+            fmt_eps_list(&eps),
+            vs.len().to_string(),
+        ]);
     }
     t.print();
 }
@@ -41,7 +45,11 @@ pub fn print_table5() {
     let mut t = TextTable::new(&["Dataset", "eps", "minpts values"]);
     for name in scenario::DATASETS {
         for (eps, minpts) in scenario::s3_rows(name) {
-            t.row(vec![name.to_string(), fmt_eps(eps), fmt_minpts_list(&minpts)]);
+            t.row(vec![
+                name.to_string(),
+                fmt_eps(eps),
+                fmt_minpts_list(&minpts),
+            ]);
         }
     }
     t.print();

@@ -15,6 +15,7 @@ pub fn print(opts: &Options) {
     println!("== Batch schedule Gantt (3 streams; digits are batch numbers mod 10) ==\n");
     let device = Device::k20c();
     let mut cache = DatasetCache::new(opts.scale);
+    let recorder = opts.recorder();
     let selected = opts.select(&["SW1"]);
     for name in &selected {
         let data = cache.get(name).points.clone();
@@ -31,10 +32,15 @@ pub fn print(opts: &Options) {
             },
             ..HybridConfig::default()
         };
-        let handle = HybridDbscan::new(&device, cfg)
-            .build_table(&data, 0.4)
-            .expect("build failed");
-        println!("--- {name} (eps = 0.4, {} batches) ---", handle.gpu.n_batches);
+        let mut hybrid = HybridDbscan::new(&device, cfg);
+        if let Some(rec) = &recorder {
+            hybrid = hybrid.with_recorder(rec.clone());
+        }
+        let handle = hybrid.build_table(&data, 0.4).expect("build failed");
+        println!(
+            "--- {name} (eps = 0.4, {} batches) ---",
+            handle.gpu.n_batches
+        );
         print!("{}", handle.gpu.schedule.render_gantt(100));
         println!(
             "serial sum of ops: {:.1} ms -> overlapped makespan: {:.1} ms ({:.2}x)\n",
@@ -43,5 +49,8 @@ pub fn print(opts: &Options) {
             handle.gpu.schedule.serial_time().as_secs()
                 / handle.gpu.schedule.makespan.as_secs().max(1e-12)
         );
+    }
+    if let Some(rec) = &recorder {
+        opts.write_observability(rec);
     }
 }

@@ -51,7 +51,13 @@ pub fn run(opts: &Options) -> Vec<Row> {
         }
         let fraction = fracs.iter().sum::<f64>() / fracs.len() as f64;
         let total_secs = totals.iter().sum::<f64>() / totals.len() as f64;
-        out.push(Row { dataset: name.to_string(), eps, fraction, total_secs, paper_fraction: paper });
+        out.push(Row {
+            dataset: name.to_string(),
+            eps,
+            fraction,
+            total_secs,
+            paper_fraction: paper,
+        });
     }
     out
 }

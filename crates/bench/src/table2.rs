@@ -10,6 +10,7 @@
 use crate::common::{DatasetCache, Options, TextTable};
 use gpu_sim::memory::DeviceAppendBuffer;
 use gpu_sim::Device;
+use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
 use hybrid_dbscan_core::kernels::{GpuCalcGlobal, GpuCalcShared, NeighborPair};
 use spatial::presort::spatial_sort;
 use spatial::GridIndex;
@@ -55,7 +56,10 @@ pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
         .map(|&h| {
             let m = grid.cells()[h as usize].len();
             let (adj, n) = grid.neighbor_cells(h as usize);
-            let nb: usize = adj[..n].iter().map(|&a| grid.cells()[a as usize].len()).sum();
+            let nb: usize = adj[..n]
+                .iter()
+                .map(|&a| grid.cells()[a as usize].len())
+                .sum();
             m * nb
         })
         .sum();
@@ -74,7 +78,9 @@ pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
         result: &result,
         skip_dense_at: None,
     };
-    let global = device.launch(global_kernel.launch_config(256), &global_kernel).unwrap();
+    let global = device
+        .launch(global_kernel.launch_config(256), &global_kernel)
+        .unwrap();
     assert!(!result.overflowed());
     result.reset();
 
@@ -87,7 +93,9 @@ pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
         schedule: grid.non_empty_cells(),
         result: &result,
     };
-    let shared = device.launch(shared_kernel.launch_config(256), &shared_kernel).unwrap();
+    let shared = device
+        .launch(shared_kernel.launch_config(256), &shared_kernel)
+        .unwrap();
     assert!(!result.overflowed());
 
     Row {
@@ -128,7 +136,14 @@ pub fn print(opts: &Options) {
     let rows = run(opts);
     opts.write_csv(
         "table2",
-        &["dataset", "eps", "global_ms", "global_ngpu", "shared_ms", "shared_ngpu"],
+        &[
+            "dataset",
+            "eps",
+            "global_ms",
+            "global_ngpu",
+            "shared_ms",
+            "shared_ngpu",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -144,7 +159,13 @@ pub fn print(opts: &Options) {
             .collect::<Vec<_>>(),
     );
     let mut t = TextTable::new(&[
-        "Dataset", "eps", "Global ms", "Global nGPU", "Shared ms", "Shared nGPU", "Shared/Global",
+        "Dataset",
+        "eps",
+        "Global ms",
+        "Global nGPU",
+        "Shared ms",
+        "Shared nGPU",
+        "Shared/Global",
     ]);
     for r in &rows {
         t.row(vec![
@@ -156,6 +177,66 @@ pub fn print(opts: &Options) {
             r.shared_threads.to_string(),
             format!("{:.2}x", r.global_advantage()),
         ]);
+    }
+    t.print();
+
+    if let Some(rec) = opts.recorder() {
+        print_batching_telemetry(opts, &rec);
+        opts.write_observability(&rec);
+    }
+}
+
+/// With `--trace`/`--metrics`: run the full batched table build per
+/// dataset and report the batching scheme's estimation telemetry —
+/// sample fraction of the estimation kernel, overestimation factor (the
+/// effective α of Eq. 1), and the per-batch result-set sizes.
+fn print_batching_telemetry(opts: &Options, rec: &std::sync::Arc<obs::Recorder>) {
+    println!("\n-- Batching telemetry (full build_table, recorder attached) --");
+    let device = Device::k20c();
+    let cfg = HybridConfig::default();
+    println!(
+        "estimation-kernel sample fraction f = {:.3} (stride {})",
+        cfg.batch.sample_fraction,
+        (1.0 / cfg.batch.sample_fraction).round() as usize
+    );
+    let mut cache = DatasetCache::new(opts.scale);
+    let selected = opts.select(&["SW1", "SW4", "SDSS1", "SDSS2"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "eps",
+        "e_b",
+        "est. |R|",
+        "actual |R|",
+        "accuracy",
+        "overest. 1+a",
+        "batches",
+    ]);
+    for &(name, eps, ..) in PAPER.iter() {
+        if !selected.iter().any(|s| s == name) {
+            continue;
+        }
+        let points = cache.get(name).points.clone();
+        let handle = HybridDbscan::new(&device, cfg)
+            .with_recorder(rec.clone())
+            .build_table(&points, eps)
+            .expect("build_table failed");
+        let g = &handle.gpu;
+        let accuracy = if g.plan.estimated_total > 0 {
+            g.result_pairs as f64 / g.plan.estimated_total as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{eps:.2}"),
+            g.e_b.to_string(),
+            g.plan.estimated_total.to_string(),
+            g.result_pairs.to_string(),
+            format!("{accuracy:.3}"),
+            format!("{:.2}", 1.0 + g.plan.effective_alpha),
+            g.n_batches.to_string(),
+        ]);
+        println!("# {name}: per-batch |result| = {:?}", g.per_batch_pairs);
     }
     t.print();
 }

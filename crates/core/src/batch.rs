@@ -158,7 +158,11 @@ pub fn batch_of(point_id: usize, n_batches: usize) -> usize {
 
 /// The points of batch `l`: `{g · n_b + l | g = 0, 1, …}` (Figure 2's
 /// x-axis labels, zero-indexed).
-pub fn batch_points(n_points: usize, n_batches: usize, batch: usize) -> impl Iterator<Item = usize> {
+pub fn batch_points(
+    n_points: usize,
+    n_batches: usize,
+    batch: usize,
+) -> impl Iterator<Item = usize> {
     (batch..n_points).step_by(n_batches.max(1))
 }
 
@@ -219,8 +223,7 @@ mod tests {
                 plan.buffer_items
             );
             // The α margin: buffer exceeds the expected size by ~alpha.
-            let slack =
-                plan.buffer_items as f64 / plan.expected_batch_size().max(1) as f64;
+            let slack = plan.buffer_items as f64 / plan.expected_batch_size().max(1) as f64;
             assert!(slack >= 1.0, "slack {slack}");
         }
     }

@@ -72,12 +72,7 @@ struct ChainExpandKernel<'a> {
 
 impl ChainExpandKernel<'_> {
     /// Neighbor ids of `p` within ε via the grid, charging `t`.
-    fn neighbors(
-        &self,
-        t: &mut gpu_sim::kernel::ThreadCtx,
-        pi: u32,
-        out: &mut Vec<u32>,
-    ) {
+    fn neighbors(&self, t: &mut gpu_sim::kernel::ThreadCtx, pi: u32, out: &mut Vec<u32>) {
         let eps_sq = self.eps * self.eps;
         let p = self.data[pi as usize];
         t.read_global::<Point2>(1);
@@ -272,8 +267,7 @@ pub fn cuda_dclust(
             next: &next,
             collisions: &collisions,
         };
-        let report =
-            device.launch(LaunchConfig::new(active.len() as u32, 32), &kernel)?;
+        let report = device.launch(LaunchConfig::new(active.len() as u32, 32), &kernel)?;
         total += report.duration;
         profile.record(&report);
         launches += 1;
@@ -420,7 +414,10 @@ mod tests {
         let eps_sq = eps * eps;
         let cores: Vec<usize> = (0..data.len())
             .filter(|&i| {
-                data.iter().filter(|q| data[i].distance_sq(q) <= eps_sq).count() >= minpts
+                data.iter()
+                    .filter(|q| data[i].distance_sq(q) <= eps_sq)
+                    .count()
+                    >= minpts
             })
             .collect();
         for w in cores.windows(2) {

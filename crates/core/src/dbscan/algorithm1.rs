@@ -112,7 +112,11 @@ pub fn dbscan_algorithm1<S: NeighborSource + ?Sized>(
 
     let mut noise: Vec<u32> = noise_set.into_iter().collect();
     noise.sort_unstable();
-    Algorithm1Output { clusters, noise, n_points: n }
+    Algorithm1Output {
+        clusters,
+        noise,
+        n_points: n,
+    }
 }
 
 #[cfg(test)]
@@ -167,8 +171,11 @@ mod tests {
 
     #[test]
     fn empty_neighborhoods_are_noise() {
-        let data =
-            vec![Point2::new(0.0, 0.0), Point2::new(100.0, 0.0), Point2::new(200.0, 0.0)];
+        let data = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(200.0, 0.0),
+        ];
         let grid = GridIndex::build(&data, 1.0);
         let out = dbscan_algorithm1(&GridSource::new(&grid, &data), 2);
         assert!(out.clusters.is_empty());

@@ -55,8 +55,11 @@ impl Clustering {
     /// Construct directly from labels (for tests and external callers).
     /// `n_clusters` is recomputed.
     pub fn from_labels(labels: Vec<PointLabel>) -> Self {
-        let n_clusters =
-            labels.iter().filter_map(|l| l.cluster_id()).max().map_or(0, |m| m + 1);
+        let n_clusters = labels
+            .iter()
+            .filter_map(|l| l.cluster_id())
+            .max()
+            .map_or(0, |m| m + 1);
         Clustering { labels, n_clusters }
     }
 
@@ -82,7 +85,10 @@ impl Clustering {
 
     /// Number of points assigned to cluster `k`.
     pub fn cluster_size(&self, k: u32) -> usize {
-        self.labels.iter().filter(|l| l.cluster_id() == Some(k)).count()
+        self.labels
+            .iter()
+            .filter(|l| l.cluster_id() == Some(k))
+            .count()
     }
 
     /// Cluster sizes, descending — a quick fingerprint of a clustering.
@@ -106,7 +112,10 @@ impl Clustering {
         for (k, &orig) in perm.iter().enumerate() {
             labels[orig as usize] = self.labels[k];
         }
-        Clustering { labels, n_clusters: self.n_clusters }
+        Clustering {
+            labels,
+            n_clusters: self.n_clusters,
+        }
     }
 
     /// Whether two clusterings are identical up to a relabeling of cluster
@@ -154,7 +163,13 @@ mod tests {
 
     fn lbl(ids: &[i32]) -> Vec<PointLabel> {
         ids.iter()
-            .map(|&i| if i < 0 { PointLabel::NOISE } else { PointLabel::cluster(i as u32) })
+            .map(|&i| {
+                if i < 0 {
+                    PointLabel::NOISE
+                } else {
+                    PointLabel::cluster(i as u32)
+                }
+            })
             .collect()
     }
 

@@ -164,7 +164,11 @@ mod tests {
         let cg = Dbscan::new(3).run(&GridSource::new(&grid, &data));
         let cr = Dbscan::new(3).run(&RTreeSource::new(&rtree, &data, 0.5));
         assert!(cg.equivalent_to(&cr));
-        assert_eq!(cg.labels(), cr.labels(), "same visit order -> identical labels");
+        assert_eq!(
+            cg.labels(),
+            cr.labels(),
+            "same visit order -> identical labels"
+        );
     }
 
     #[test]
@@ -233,7 +237,11 @@ mod tests {
         // Neighborhood of 0: {0, 1} (dist to p1 = 0.95, others > 1.0).
         let c = Dbscan::new(3).run(&GridSource::new(&grid, &data));
         assert_eq!(c.num_clusters(), 1);
-        assert_eq!(c.labels()[0], c.labels()[1], "noise point reclaimed as border");
+        assert_eq!(
+            c.labels()[0],
+            c.labels()[1],
+            "noise point reclaimed as border"
+        );
         assert_eq!(c.noise_count(), 0);
     }
 

@@ -32,7 +32,8 @@ impl<'a> GridSource<'a> {
 
 impl NeighborSource for GridSource<'_> {
     fn neighbors_of(&self, id: u32, out: &mut Vec<u32>) {
-        self.grid.query_visit(self.data, &self.data[id as usize], |n| out.push(n));
+        self.grid
+            .query_visit(self.data, &self.data[id as usize], |n| out.push(n));
     }
 
     fn num_points(&self) -> usize {
@@ -57,7 +58,8 @@ impl<'a> RTreeSource<'a> {
 
 impl NeighborSource for RTreeSource<'_> {
     fn neighbors_of(&self, id: u32, out: &mut Vec<u32>) {
-        self.tree.query_eps_visit(&self.data[id as usize], self.eps, |n, _| out.push(n));
+        self.tree
+            .query_eps_visit(&self.data[id as usize], self.eps, |n, _| out.push(n));
     }
 
     fn num_points(&self) -> usize {
@@ -80,7 +82,8 @@ impl<'a> KdTreeSource<'a> {
 
 impl NeighborSource for KdTreeSource<'_> {
     fn neighbors_of(&self, id: u32, out: &mut Vec<u32>) {
-        self.tree.query_eps_visit(&self.data[id as usize], self.eps, |n| out.push(n));
+        self.tree
+            .query_eps_visit(&self.data[id as usize], self.eps, |n| out.push(n));
     }
 
     fn num_points(&self) -> usize {
@@ -143,9 +146,11 @@ mod tests {
 
         for id in 0..data.len() as u32 {
             let expected = brute_force_neighbors(&data, &data[id as usize], eps);
-            for (name, src) in
-                [("grid", &gs as &dyn NeighborSource), ("rtree", &rs), ("kdtree", &ks)]
-            {
+            for (name, src) in [
+                ("grid", &gs as &dyn NeighborSource),
+                ("rtree", &rs),
+                ("kdtree", &ks),
+            ] {
                 let mut out = Vec::new();
                 src.neighbors_of(id, &mut out);
                 assert_eq!(sorted(out), expected, "{name} disagrees at id {id}");
@@ -170,7 +175,10 @@ mod tests {
         for id in [0u32, 17, 59] {
             let mut out = Vec::new();
             gs.neighbors_of(id, &mut out);
-            assert!(out.contains(&id), "point {id} missing from its own neighborhood");
+            assert!(
+                out.contains(&id),
+                "point {id} missing from its own neighborhood"
+            );
         }
     }
 }

@@ -29,7 +29,9 @@ pub struct ConcurrentUnionFind {
 
 impl ConcurrentUnionFind {
     pub fn new(n: usize) -> Self {
-        ConcurrentUnionFind { parent: (0..n as u32).map(AtomicU32::new).collect() }
+        ConcurrentUnionFind {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -134,11 +136,7 @@ pub fn dbscan_disjoint_set(table: &NeighborTable, minpts: usize) -> Clustering {
 
     // Phase 3: compact root ids to dense cluster labels, numbering
     // clusters by their smallest member for determinism.
-    let mut roots: Vec<u32> = attach
-        .iter()
-        .copied()
-        .filter(|&r| r != u32::MAX)
-        .collect();
+    let mut roots: Vec<u32> = attach.iter().copied().filter(|&r| r != u32::MAX).collect();
     roots.sort_unstable();
     roots.dedup();
     let labels: Vec<PointLabel> = attach
@@ -165,7 +163,9 @@ mod tests {
 
     fn table_for(data: &[spatial::Point2], eps: f64) -> crate::hybrid::TableHandle {
         let device = Device::k20c();
-        HybridDbscan::new(&device, HybridConfig::default()).build_table(data, eps).unwrap()
+        HybridDbscan::new(&device, HybridConfig::default())
+            .build_table(data, eps)
+            .unwrap()
     }
 
     #[test]
@@ -211,7 +211,11 @@ mod tests {
             let sequential = Dbscan::new(minpts).run(&TableSource::new(&handle.table));
 
             // Same number of clusters and identical core memberships.
-            assert_eq!(parallel.num_clusters(), sequential.num_clusters(), "eps={eps}");
+            assert_eq!(
+                parallel.num_clusters(),
+                sequential.num_clusters(),
+                "eps={eps}"
+            );
             for i in 0..handle.table.num_points() as u32 {
                 let core = handle.table.neighbor_count(i) >= minpts;
                 if core {
@@ -247,7 +251,11 @@ mod tests {
         let handle = table_for(&data, 0.6);
         let a = dbscan_disjoint_set(&handle.table, 4);
         let b = dbscan_disjoint_set(&handle.table, 4);
-        assert_eq!(a.labels(), b.labels(), "parallel result must be deterministic");
+        assert_eq!(
+            a.labels(),
+            b.labels(),
+            "parallel result must be deterministic"
+        );
     }
 
     #[test]

@@ -204,11 +204,18 @@ pub fn g_dbscan(
     // Phase 1: degrees.
     let degrees_dev: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let _degrees_alloc = RawAlloc::new(device, n * 4)?;
-    let degree_kernel = DegreeKernel { data: d_buf.as_slice(), eps, degrees: &degrees_dev };
+    let degree_kernel = DegreeKernel {
+        data: d_buf.as_slice(),
+        eps,
+        degrees: &degrees_dev,
+    };
     let report = device.launch(LaunchConfig::for_elements(n, block), &degree_kernel)?;
     total += report.duration;
     profile.record(&report);
-    let degrees: Vec<u32> = degrees_dev.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+    let degrees: Vec<u32> = degrees_dev
+        .iter()
+        .map(|d| d.load(Ordering::Relaxed))
+        .collect();
 
     // Phase 2: exclusive scan -> offsets.
     let (offsets, scan_t) = thrust::exclusive_scan(device, &degrees);
@@ -227,7 +234,10 @@ pub fn g_dbscan(
     let report = device.launch(LaunchConfig::for_elements(n, block), &adj_kernel)?;
     total += report.duration;
     profile.record(&report);
-    let adjacency: Vec<u32> = adjacency.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let adjacency: Vec<u32> = adjacency
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
     let graph_time = total;
 
     // Phase 4: cluster identification by repeated level-synchronous BFS.
@@ -311,7 +321,11 @@ mod tests {
         let grid = GridIndex::build(data, eps);
         let d = Dbscan::new(minpts).run(&GridSource::new(&grid, data));
 
-        assert_eq!(g.clustering.num_clusters(), d.num_clusters(), "cluster count");
+        assert_eq!(
+            g.clustering.num_clusters(),
+            d.num_clusters(),
+            "cluster count"
+        );
         // Noise agreement is exact.
         for i in 0..data.len() {
             assert_eq!(
@@ -324,7 +338,10 @@ mod tests {
         let eps_sq = eps * eps;
         let cores: Vec<usize> = (0..data.len())
             .filter(|&i| {
-                data.iter().filter(|q| data[i].distance_sq(q) <= eps_sq).count() >= minpts
+                data.iter()
+                    .filter(|q| data[i].distance_sq(q) <= eps_sq)
+                    .count()
+                    >= minpts
             })
             .collect();
         for w in cores.windows(2) {
@@ -364,7 +381,10 @@ mod tests {
         let small = g_dbscan(&device, &mixed_points(1000), 0.4, 4).unwrap();
         let large = g_dbscan(&device, &mixed_points(4000), 0.4, 4).unwrap();
         let ratio = large.report.graph_time.as_secs() / small.report.graph_time.as_secs();
-        assert!(ratio > 6.0, "graph time grew only {ratio:.2}x for 4x points (expect ~16x)");
+        assert!(
+            ratio > 6.0,
+            "graph time grew only {ratio:.2}x for 4x points (expect ~16x)"
+        );
         assert!(small.report.bfs_levels >= 1);
     }
 

@@ -35,12 +35,14 @@ use gpu_sim::hostmem::PinnedBuffer;
 use gpu_sim::memory::{DeviceAppendBuffer, DeviceBuffer, DeviceCounter};
 use gpu_sim::profiler::KernelProfile;
 use gpu_sim::stream::{schedule_chains, OpSpec};
-use gpu_sim::time::SimDuration;
-use gpu_sim::timeline::{Engine, Timeline};
 use gpu_sim::thrust;
+use gpu_sim::time::{SimDuration, SimTime};
+use gpu_sim::timeline::{Engine, Timeline};
+use obs::Recorder;
 use serde::{Deserialize, Serialize};
 use spatial::presort::spatial_sort_permutation;
 use spatial::{GridIndex, Point2};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which ε-neighborhood kernel to use.
@@ -95,6 +97,10 @@ pub struct GpuPhaseReport {
     pub n_batches: usize,
     /// Total result-set pairs produced (`|R|` = `|B|`).
     pub result_pairs: usize,
+    /// Pairs produced by each executed batch, in batch order — the
+    /// planned-vs-actual telemetry behind the batching scheme's
+    /// estimation-accuracy metrics.
+    pub per_batch_pairs: Vec<usize>,
     /// Aggregated kernel launches.
     pub kernel_profile: KernelProfile,
     /// Estimation-kernel sample count `e_b`.
@@ -167,7 +173,9 @@ pub enum HybridError {
     Device(DeviceError),
     /// The result buffers kept overflowing even after doubling `n_b`
     /// `max_retries` times.
-    RetriesExhausted { attempts: usize },
+    RetriesExhausted {
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for HybridError {
@@ -190,18 +198,36 @@ impl From<DeviceError> for HybridError {
 }
 
 /// Output of one batch pass: the filled builder, per-batch operation
-/// chains for scheduling, the kernel profile, and the total pair count.
-type BatchPassOutput = (NeighborTableBuilder, Vec<Vec<OpSpec>>, KernelProfile, usize);
+/// chains for scheduling, the kernel profile, and the per-batch pair
+/// counts.
+type BatchPassOutput = (
+    NeighborTableBuilder,
+    Vec<Vec<OpSpec>>,
+    KernelProfile,
+    Vec<usize>,
+);
 
 /// The Hybrid-DBSCAN engine (Algorithm 4).
 pub struct HybridDbscan {
     device: Device,
     config: HybridConfig,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl HybridDbscan {
     pub fn new(device: &Device, config: HybridConfig) -> Self {
-        HybridDbscan { device: device.clone(), config }
+        HybridDbscan {
+            device: device.clone(),
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Attach an [`obs::Recorder`]: every subsequent run records spans,
+    /// device-timeline operations, and batching/kernel metrics into it.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     pub fn config(&self) -> &HybridConfig {
@@ -214,15 +240,41 @@ impl HybridDbscan {
 
     /// Full Algorithm 4: construct `T` on the (simulated) GPU, then run
     /// DBSCAN over it. Labels are returned in the caller's point order.
-    pub fn run(&self, data: &[Point2], eps: f64, minpts: usize) -> Result<HybridResult, HybridError> {
+    pub fn run(
+        &self,
+        data: &[Point2],
+        eps: f64,
+        minpts: usize,
+    ) -> Result<HybridResult, HybridError> {
+        let rec = self.recorder.as_deref();
+        let run_span = rec.map(|r| {
+            let mut s = r.span("hybrid_dbscan", "run");
+            s.arg("n_points", data.len())
+                .arg("eps", eps)
+                .arg("minpts", minpts);
+            s
+        });
         let handle = self.build_table(data, eps)?;
+        let dbscan_span = rec.map(|r| r.span("dbscan", "host"));
         let (clustering, dbscan_time) = Self::cluster_with_table(&handle, minpts);
+        drop(dbscan_span);
+        if let Some(r) = rec {
+            r.metrics()
+                .observe("dbscan.duration_ms", dbscan_time.as_millis());
+            r.metrics()
+                .gauge_set("dbscan.clusters", clustering.num_clusters() as f64);
+        }
+        drop(run_span);
         let timings = HybridTimings {
             gpu_phase: handle.gpu.modeled_time,
             dbscan: dbscan_time,
             total: handle.gpu.modeled_time + dbscan_time,
         };
-        Ok(HybridResult { clustering, timings, gpu: handle.gpu })
+        Ok(HybridResult {
+            clustering,
+            timings,
+            gpu: handle.gpu,
+        })
     }
 
     /// Run DBSCAN over an existing table handle (the data-reuse path,
@@ -245,25 +297,39 @@ impl HybridDbscan {
     /// Algorithm 4, including the batching scheme of Section VI).
     pub fn build_table(&self, data: &[Point2], eps: f64) -> Result<TableHandle, HybridError> {
         assert!(!data.is_empty(), "cannot cluster an empty database");
-        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "eps must be positive and finite"
+        );
         let wall_start = Instant::now();
         let cfg = &self.config;
+        let rec = self.recorder.as_deref();
+        let mut table_span = rec.map(|r| {
+            let mut s = r.span("build_table", "hybrid");
+            s.arg("n_points", data.len()).arg("eps", eps);
+            s
+        });
 
         // Spatial pre-sort (Section IV): improves locality and makes the
         // strided batch assignment a uniform spatial sample.
+        let index_span = rec.map(|r| r.span("index_build", "host"));
         let perm = spatial_sort_permutation(data);
         let sorted: Vec<Point2> = perm.apply(data);
 
         // ConstructIndex(D, eps) on the host.
         let grid = GridIndex::build(&sorted, eps);
         let geom = grid.geometry();
+        drop(index_span);
 
         // H2D uploads of D, G, A (pageable: one-off inputs).
+        let upload_span = rec.map(|r| r.span("h2d_upload", "host"));
         let (d_buf, up_d) = DeviceBuffer::from_host(&self.device, &sorted, false)?;
         let (g_buf, up_g) = DeviceBuffer::from_host(&self.device, grid.cells(), false)?;
         let (a_buf, up_a) = DeviceBuffer::from_host(&self.device, grid.lookup(), false)?;
+        drop(upload_span);
 
         // Result-size estimation kernel over the f-sample.
+        let est_span = rec.map(|r| r.span("estimation_kernel", "host"));
         let counter = DeviceCounter::new(&self.device)?;
         let stride = (1.0 / cfg.batch.sample_fraction).round().max(1.0) as usize;
         let count_kernel = NeighborCountKernel {
@@ -275,9 +341,14 @@ impl HybridDbscan {
             stride,
             counter: &counter,
         };
-        let est_report = self.device.launch(count_kernel.launch_config(cfg.block_dim), &count_kernel)?;
+        let est_report = self
+            .device
+            .launch(count_kernel.launch_config(cfg.block_dim), &count_kernel)?;
         let e_b = counter.get();
         drop(counter);
+        if let Some(mut s) = est_span {
+            s.arg("e_b", e_b).arg("stride", stride);
+        }
 
         // Batch plan (Equation 1), fitted to the remaining device memory
         // with a small headroom.
@@ -303,7 +374,9 @@ impl HybridDbscan {
             KernelChoice::Shared => {
                 let (batches, required) = pack_shared_cells(&grid, plan.buffer_items);
                 if required > plan.buffer_items {
-                    let budget = self.device.available_bytes()
+                    let budget = self
+                        .device
+                        .available_bytes()
                         .saturating_sub(self.device.available_bytes() / 10);
                     let pair = std::mem::size_of::<NeighborPair>();
                     if required * pair * n_buffers > budget {
@@ -321,8 +394,9 @@ impl HybridDbscan {
 
         // Pinned staging buffers, one per stream.
         let n_buffers = cfg.batch.n_streams.min(plan.n_batches).max(1);
-        let pinned: Vec<PinnedBuffer<NeighborPair>> =
-            (0..n_buffers).map(|_| PinnedBuffer::new(&self.device, plan.buffer_items)).collect();
+        let pinned: Vec<PinnedBuffer<NeighborPair>> = (0..n_buffers)
+            .map(|_| PinnedBuffer::new(&self.device, plan.buffer_items))
+            .collect();
         let pinned_alloc_time: SimDuration = pinned.iter().map(|p| p.alloc_time()).sum();
 
         // Device result buffers, one per stream, reused across batches.
@@ -331,10 +405,11 @@ impl HybridDbscan {
             .collect::<Result<_, _>>()?;
 
         // Execute batches, retrying with doubled n_b on overflow.
+        let batch_span = rec.map(|r| r.span("batch_loop", "host"));
         let mut pinned = pinned;
         let mut attempt_plan = plan;
         let mut retries = 0;
-        let (builder, chains, profile, total_pairs) = loop {
+        let (builder, chains, profile, per_batch_pairs) = loop {
             match self.run_batches(
                 &sorted,
                 &grid,
@@ -357,6 +432,11 @@ impl HybridDbscan {
                 }
             }
         };
+        if let Some(mut s) = batch_span {
+            s.arg("n_batches", attempt_plan.n_batches)
+                .arg("retries", retries);
+        }
+        let total_pairs: usize = per_batch_pairs.iter().sum();
 
         // Modeled GPU-phase time: serial preamble (uploads, estimation,
         // pinned allocation) + the overlapped 3-stream batch schedule.
@@ -380,15 +460,24 @@ impl HybridDbscan {
             d2h_time: sum_label("d2h"),
             ingest_time: sum_label("ingest"),
         };
-        let modeled_time = up_d
-            + up_g
-            + up_a
-            + est_report.duration
-            + pinned_alloc_time
-            + schedule.makespan;
+        let modeled_time =
+            up_d + up_g + up_a + est_report.duration + pinned_alloc_time + schedule.makespan;
 
         let table = builder.finalize();
         let mut kernel_profile = profile;
+        if let Some(r) = rec {
+            self.record_gpu_phase(
+                r,
+                &schedule,
+                &breakdown,
+                &est_report,
+                &kernel_profile,
+                &attempt_plan,
+                &per_batch_pairs,
+                e_b,
+                retries,
+            );
+        }
         kernel_profile.record(&est_report);
 
         let gpu = GpuPhaseReport {
@@ -397,25 +486,152 @@ impl HybridDbscan {
             plan,
             n_batches: attempt_plan.n_batches,
             result_pairs: total_pairs,
+            per_batch_pairs,
             kernel_profile,
             e_b,
             retries,
             breakdown,
             schedule,
         };
+        if let Some(s) = table_span.as_mut() {
+            s.arg("modeled_ms", format!("{:.3}", modeled_time.as_millis()));
+            s.set_sim(SimTime::ZERO, modeled_time);
+        }
+        drop(table_span);
         // visit_order[original id] = sorted position.
         let perm_slice = perm.as_slice();
         let mut visit_order = vec![0u32; perm_slice.len()];
         for (k, &orig) in perm_slice.iter().enumerate() {
             visit_order[orig as usize] = k as u32;
         }
-        Ok(TableHandle { table, perm: perm_slice.to_vec(), visit_order, gpu })
+        Ok(TableHandle {
+            table,
+            perm: perm_slice.to_vec(),
+            visit_order,
+            gpu,
+        })
+    }
+
+    /// Record the GPU phase into an [`obs::Recorder`]: the device-timeline
+    /// track (preamble + overlapped batch schedule, same labels as
+    /// [`gpu_sim::stream::Schedule::render_gantt`]) and the batching /
+    /// kernel metrics.
+    #[allow(clippy::too_many_arguments)]
+    fn record_gpu_phase(
+        &self,
+        r: &Recorder,
+        schedule: &gpu_sim::stream::Schedule,
+        breakdown: &GpuPhaseBreakdown,
+        est_report: &gpu_sim::KernelReport,
+        batch_profile: &KernelProfile,
+        plan: &BatchPlan,
+        per_batch_pairs: &[usize],
+        e_b: u64,
+        retries: usize,
+    ) {
+        // Device track: the serial preamble occupies its engines back to
+        // back, then the batch schedule replays shifted past it.
+        let mut t = SimTime::ZERO;
+        r.record_device_op(Engine::H2D, "upload", 0, 0, t, breakdown.upload_time);
+        t = t + breakdown.upload_time;
+        r.record_device_op(
+            Engine::Compute,
+            "estimation",
+            0,
+            0,
+            t,
+            breakdown.estimation_time,
+        );
+        t = t + breakdown.estimation_time;
+        r.record_device_op(
+            Engine::Host(0),
+            "pinned_alloc",
+            0,
+            0,
+            t,
+            breakdown.pinned_alloc_time,
+        );
+        t = t + breakdown.pinned_alloc_time;
+        r.record_schedule(schedule, t - SimTime::ZERO);
+
+        // Batching-scheme telemetry: how good was the estimate, and how
+        // much of the overestimated buffers did the batches actually use?
+        let m = r.metrics();
+        let actual: usize = per_batch_pairs.iter().sum();
+        m.counter_add("batch.e_b", e_b);
+        m.gauge_set(
+            "estimation.sample_fraction",
+            self.config.batch.sample_fraction,
+        );
+        m.counter_add("batch.batches_run", per_batch_pairs.len() as u64);
+        m.counter_add("batch.retries", retries as u64);
+        m.counter_add("batch.result_pairs", actual as u64);
+        m.gauge_set("batch.estimated_total", plan.estimated_total as f64);
+        m.gauge_set("batch.overestimation_factor", 1.0 + plan.effective_alpha);
+        if plan.estimated_total > 0 {
+            m.gauge_set(
+                "batch.estimation_accuracy",
+                actual as f64 / plan.estimated_total as f64,
+            );
+        }
+        let capacity = (plan.buffer_items * per_batch_pairs.len()).max(1);
+        m.gauge_set("batch.buffer_utilization", actual as f64 / capacity as f64);
+        for &pairs in per_batch_pairs {
+            m.observe("batch.pairs", pairs as f64);
+            m.observe(
+                "batch.fill_fraction",
+                pairs as f64 / plan.buffer_items.max(1) as f64,
+            );
+        }
+
+        // Per-kernel profile metrics (the estimation launch is kept
+        // separate from the batch kernels so their occupancies don't mix).
+        let kernel_name = match self.config.kernel {
+            KernelChoice::Global => "gpucalc_global",
+            KernelChoice::Shared => "gpucalc_shared",
+        };
+        m.counter_add(
+            &format!("kernel.{kernel_name}.launches"),
+            batch_profile.launches,
+        );
+        m.gauge_set(
+            &format!("kernel.{kernel_name}.mean_occupancy"),
+            batch_profile.mean_occupancy(),
+        );
+        m.gauge_set(
+            &format!("kernel.{kernel_name}.gmem_gbps"),
+            batch_profile.global_throughput_gbps(),
+        );
+        m.counter_add("kernel.estimation.launches", 1);
+        m.gauge_set("kernel.estimation.occupancy", est_report.occupancy);
+        let est_secs = est_report.duration.as_secs();
+        m.gauge_set(
+            "kernel.estimation.gmem_gbps",
+            if est_secs == 0.0 {
+                0.0
+            } else {
+                est_report.counters.global_bytes() as f64 / est_secs / 1e9
+            },
+        );
+
+        // Schedule-shape metrics: overlap achieved by the 3 streams.
+        let serial = schedule.serial_time().as_secs();
+        let makespan = schedule.makespan.as_secs();
+        m.gauge_set("schedule.makespan_ms", schedule.makespan.as_millis());
+        m.gauge_set(
+            "schedule.overlap_factor",
+            if makespan == 0.0 {
+                0.0
+            } else {
+                serial / makespan
+            },
+        );
     }
 
     /// Run all batches of `plan`. Returns `None` if any batch overflowed
     /// its buffer (caller re-plans), otherwise the filled builder, the
     /// per-batch operation chains for scheduling, the kernel profile, and
-    /// the total pair count.
+    /// the per-batch pair counts.
     #[allow(clippy::too_many_arguments)]
     fn run_batches(
         &self,
@@ -436,7 +652,7 @@ impl HybridDbscan {
         let builder = NeighborTableBuilder::new(eps, sorted.len(), n_b);
         let mut chains: Vec<Vec<OpSpec>> = Vec::with_capacity(n_b);
         let mut profile = KernelProfile::new();
-        let mut total_pairs = 0usize;
+        let mut per_batch_pairs: Vec<usize> = Vec::with_capacity(n_b);
 
         for l in 0..n_b {
             let buf = &mut dev_buffers[l % n_buffers];
@@ -456,13 +672,15 @@ impl HybridDbscan {
                         result: buf,
                         skip_dense_at: None,
                     };
-                    self.device.launch(kernel.launch_config(cfg.block_dim), &kernel)?
+                    self.device
+                        .launch(kernel.launch_config(cfg.block_dim), &kernel)?
                 }
                 KernelChoice::Shared => {
-                    let batch_cells: &[u32] = &shared_batches
-                        .expect("shared kernel requires a cell packing")[l];
+                    let batch_cells: &[u32] =
+                        &shared_batches.expect("shared kernel requires a cell packing")[l];
                     if batch_cells.is_empty() {
                         chains.push(Vec::new());
+                        per_batch_pairs.push(0);
                         continue;
                     }
                     let kernel = GpuCalcShared {
@@ -474,7 +692,8 @@ impl HybridDbscan {
                         schedule: batch_cells,
                         result: buf,
                     };
-                    self.device.launch(kernel.launch_config(cfg.block_dim), &kernel)?
+                    self.device
+                        .launch(kernel.launch_config(cfg.block_dim), &kernel)?
                 }
             };
             profile.record(&report);
@@ -491,7 +710,7 @@ impl HybridDbscan {
             // reused by batch l + n_streams, which is why the values must
             // be copied out (Algorithm 4's rationale for buffer B).
             let (pairs, d2h_time) = buf.to_host(true);
-            total_pairs += pairs.len();
+            per_batch_pairs.push(pairs.len());
             let stage = &mut pinned[l % n_buffers];
             let staged_len = stage.write_from(&pairs);
 
@@ -504,14 +723,17 @@ impl HybridDbscan {
                 OpSpec::new(Engine::Compute, report.duration, "kernel"),
                 OpSpec::new(Engine::Compute, sort_time, "sort"),
                 OpSpec::new(Engine::D2H, d2h_time, "d2h"),
-                OpSpec::new(Engine::Host(l % cfg.host_lanes.max(1)), ingest_time, "ingest"),
+                OpSpec::new(
+                    Engine::Host(l % cfg.host_lanes.max(1)),
+                    ingest_time,
+                    "ingest",
+                ),
             ]);
         }
 
-        Ok(Some((builder, chains, profile, total_pairs)))
+        Ok(Some((builder, chains, profile, per_batch_pairs)))
     }
 }
-
 
 /// Pack the non-empty cells of `grid` into batches for the shared kernel.
 ///
@@ -612,7 +834,10 @@ mod tests {
         let global = HybridDbscan::new(&device, HybridConfig::default());
         let shared = HybridDbscan::new(
             &device,
-            HybridConfig { kernel: KernelChoice::Shared, ..HybridConfig::default() },
+            HybridConfig {
+                kernel: KernelChoice::Shared,
+                ..HybridConfig::default()
+            },
         );
         let rg = global.run(&data, 0.7, 4).unwrap();
         let rs = shared.run(&data, 0.7, 4).unwrap();
@@ -658,7 +883,10 @@ mod tests {
         };
         let hybrid = HybridDbscan::new(&device, cfg);
         let r = hybrid.run(&data, 1.0, 4).unwrap();
-        assert!(r.gpu.retries > 0, "undersized estimate must trigger retries");
+        assert!(
+            r.gpu.retries > 0,
+            "undersized estimate must trigger retries"
+        );
         // And the result is still correct.
         let grid = GridIndex::build(&data, 1.0);
         let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
@@ -698,7 +926,11 @@ mod tests {
         let device = Device::k20c();
         let hybrid = HybridDbscan::new(&device, HybridConfig::default());
         let _ = hybrid.run(&data, 0.5, 4).unwrap();
-        assert_eq!(device.used_bytes(), 0, "all device allocations must be dropped");
+        assert_eq!(
+            device.used_bytes(),
+            0,
+            "all device allocations must be dropped"
+        );
     }
 
     #[test]
@@ -712,6 +944,92 @@ mod tests {
         let grid = GridIndex::build(&data, 0.8);
         let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
         assert!(r.clustering.equivalent_to(&direct));
+    }
+
+    #[test]
+    fn per_batch_pairs_sum_to_total() {
+        let data = mixed_points(800);
+        let device = Device::k20c();
+        let cfg = HybridConfig {
+            batch: tiny_batch_config(2000),
+            ..HybridConfig::default()
+        };
+        let hybrid = HybridDbscan::new(&device, cfg);
+        let r = hybrid.run(&data, 0.6, 4).unwrap();
+        assert!(r.gpu.per_batch_pairs.len() > 1);
+        assert_eq!(r.gpu.per_batch_pairs.len(), r.gpu.n_batches);
+        assert_eq!(
+            r.gpu.per_batch_pairs.iter().sum::<usize>(),
+            r.gpu.result_pairs
+        );
+    }
+
+    #[test]
+    fn recorder_captures_spans_device_track_and_metrics() {
+        let data = mixed_points(400);
+        let device = Device::k20c();
+        let rec = Arc::new(obs::Recorder::new());
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default()).with_recorder(rec.clone());
+        let r = hybrid.run(&data, 0.6, 4).unwrap();
+
+        // Host spans: the run tree exists and is parented correctly.
+        let spans = rec.spans();
+        let run_span = spans.iter().find(|s| s.name == "hybrid_dbscan").unwrap();
+        let build = spans.iter().find(|s| s.name == "build_table").unwrap();
+        assert_eq!(build.parent, Some(run_span.id));
+        assert!(
+            build.sim_dur_us.is_some(),
+            "build_table carries its sim window"
+        );
+        for name in ["index_build", "estimation_kernel", "batch_loop", "dbscan"] {
+            assert!(spans.iter().any(|s| s.name == name), "missing span {name}");
+        }
+
+        // Device track: preamble + schedule ops, labels matching the
+        // Gantt, total op count = 3 preamble + schedule ops.
+        let ops = rec.device_ops();
+        assert_eq!(ops.len(), 3 + r.gpu.schedule.ops.len());
+        for label in r.gpu.schedule.op_labels() {
+            assert!(
+                ops.iter().any(|o| o.label == label),
+                "missing device op {label}"
+            );
+        }
+
+        // Metrics: estimation accuracy and kernel telemetry present.
+        let m = rec.metrics().snapshot();
+        assert_eq!(m.counters["batch.e_b"], r.gpu.e_b);
+        assert_eq!(m.counters["batch.result_pairs"], r.gpu.result_pairs as u64);
+        let acc = m.gauges["batch.estimation_accuracy"];
+        assert!(acc > 0.0 && acc.is_finite(), "accuracy {acc}");
+        assert!(m.gauges["kernel.gpucalc_global.mean_occupancy"] > 0.0);
+        assert!(m.gauges["kernel.estimation.occupancy"] > 0.0);
+        assert_eq!(m.histograms["batch.pairs"].count, r.gpu.n_batches as u64);
+    }
+
+    #[test]
+    fn device_lane_events_do_not_overlap_in_recorder() {
+        let data = mixed_points(600);
+        let device = Device::k20c();
+        let cfg = HybridConfig {
+            batch: tiny_batch_config(2000),
+            ..HybridConfig::default()
+        };
+        let rec = Arc::new(obs::Recorder::new());
+        let hybrid = HybridDbscan::new(&device, cfg).with_recorder(rec.clone());
+        let r = hybrid.build_table(&data, 0.6).unwrap();
+        assert!(r.gpu.n_batches > 1);
+        let mut ops = rec.device_ops();
+        ops.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        for engine in [Engine::H2D, Engine::Compute, Engine::D2H, Engine::Host(0)] {
+            let lane: Vec<_> = ops.iter().filter(|o| o.engine == engine).collect();
+            for w in lane.windows(2) {
+                assert!(
+                    w[1].start_us >= w[0].start_us + w[0].dur_us - 1e-6,
+                    "overlap on {engine:?}: {w:?}"
+                );
+            }
+        }
     }
 
     #[test]

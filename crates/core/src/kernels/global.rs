@@ -182,15 +182,16 @@ mod tests {
     fn points_in_batch_partitions_database() {
         for n in [1usize, 10, 999, 1000, 1001] {
             for nb in [1usize, 2, 3, 7] {
-                let total: usize =
-                    (0..nb).map(|l| GpuCalcGlobal::points_in_batch(n, nb, l)).sum();
+                let total: usize = (0..nb)
+                    .map(|l| GpuCalcGlobal::points_in_batch(n, nb, l))
+                    .sum();
                 assert_eq!(total, n, "n = {n}, nb = {nb}");
             }
         }
     }
 
     #[test]
-    fn thread_count_tracks_points(){
+    fn thread_count_tracks_points() {
         let data = mixed_points(1000);
         let (_, reports) = run_kernel(&data, 0.5, 1);
         // n_GPU = ceil(1000/256)*256 = 1024 (Table II's "roughly |D|").
@@ -202,7 +203,11 @@ mod tests {
         let data = mixed_points(1000);
         let (_, reports) = run_kernel(&data, 0.5, 4);
         for r in &reports {
-            assert!(r.threads_launched <= 256 * 1024 / 256, "{}", r.threads_launched);
+            assert!(
+                r.threads_launched <= 256 * 1024 / 256,
+                "{}",
+                r.threads_launched
+            );
             assert_eq!(r.threads_launched, 256);
         }
     }
@@ -212,7 +217,10 @@ mod tests {
         let data = mixed_points(100);
         let (pairs, _) = run_kernel(&data, 0.4, 3);
         for i in 0..data.len() as u32 {
-            assert!(pairs.binary_search(&(i, i)).is_ok(), "missing self pair for {i}");
+            assert!(
+                pairs.binary_search(&(i, i)).is_ok(),
+                "missing self pair for {i}"
+            );
         }
     }
 

@@ -40,7 +40,10 @@ pub(crate) mod test_support {
                 let t = i as f64;
                 if i % 3 == 0 {
                     // Clumped third.
-                    Point2::new(2.0 + (t * 0.618).fract() * 0.5, 2.0 + (t * 0.414).fract() * 0.5)
+                    Point2::new(
+                        2.0 + (t * 0.618).fract() * 0.5,
+                        2.0 + (t * 0.414).fract() * 0.5,
+                    )
                 } else {
                     // Spread remainder.
                     Point2::new((t * 0.777).fract() * 10.0, (t * 0.333).fract() * 10.0)

@@ -54,8 +54,8 @@ impl GpuCalcShared<'_> {
     /// reported in Table II.
     pub fn launch_config(&self, block_dim: u32) -> LaunchConfig {
         // Two point tiles plus the origin-id tile.
-        let shared_bytes = block_dim as usize
-            * (2 * std::mem::size_of::<Point2>() + std::mem::size_of::<u32>());
+        let shared_bytes =
+            block_dim as usize * (2 * std::mem::size_of::<Point2>() + std::mem::size_of::<u32>());
         LaunchConfig::new(self.schedule.len() as u32, block_dim).with_shared_mem(shared_bytes)
     }
 }
@@ -185,7 +185,11 @@ mod tests {
     use gpu_sim::Device;
     use spatial::GridIndex;
 
-    fn run_kernel(data: &[Point2], eps: f64, block_dim: u32) -> (Vec<(u32, u32)>, gpu_sim::KernelReport) {
+    fn run_kernel(
+        data: &[Point2],
+        eps: f64,
+        block_dim: u32,
+    ) -> (Vec<(u32, u32)>, gpu_sim::KernelReport) {
         let device = Device::k20c();
         let grid = GridIndex::build(data, eps);
         let result = DeviceAppendBuffer::new(&device, data.len() * data.len() + 64).unwrap();
@@ -198,7 +202,9 @@ mod tests {
             schedule: grid.non_empty_cells(),
             result: &result,
         };
-        let report = device.launch(kernel.launch_config(block_dim), &kernel).unwrap();
+        let report = device
+            .launch(kernel.launch_config(block_dim), &kernel)
+            .unwrap();
         let mut result = result;
         assert!(!result.overflowed());
         let mut pairs = result.as_filled_slice().to_vec();
@@ -232,7 +238,10 @@ mod tests {
             .collect();
         let (pairs, report) = run_kernel(&data, 1.0, 64);
         assert_eq!(pairs.len(), 300 * 300);
-        assert_eq!(report.config.grid_dim, 1, "single non-empty cell = single block");
+        assert_eq!(
+            report.config.grid_dim, 1,
+            "single non-empty cell = single block"
+        );
     }
 
     #[test]

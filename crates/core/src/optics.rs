@@ -72,7 +72,13 @@ impl OpticsOrdering {
     pub fn reachability_plot(&self) -> Vec<Option<f64>> {
         self.order
             .iter()
-            .map(|o| if o.reachability.is_finite() { Some(o.reachability) } else { None })
+            .map(|o| {
+                if o.reachability.is_finite() {
+                    Some(o.reachability)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 }
@@ -97,17 +103,16 @@ pub fn optics<S: NeighborSource + ?Sized>(
 
     // Core distance: the minpts-th smallest distance within the
     // neighborhood (including self), if the point is core.
-    let compute_core =
-        |id: u32, neighbors: &[u32], dists: &mut Vec<f64>, data: &[Point2]| -> f64 {
-            if neighbors.len() < minpts {
-                return f64::INFINITY;
-            }
-            dists.clear();
-            let p = data[id as usize];
-            dists.extend(neighbors.iter().map(|&j| p.distance(&data[j as usize])));
-            dists.sort_by(|a, b| a.total_cmp(b));
-            dists[minpts - 1]
-        };
+    let compute_core = |id: u32, neighbors: &[u32], dists: &mut Vec<f64>, data: &[Point2]| -> f64 {
+        if neighbors.len() < minpts {
+            return f64::INFINITY;
+        }
+        dists.clear();
+        let p = data[id as usize];
+        dists.extend(neighbors.iter().map(|&j| p.distance(&data[j as usize])));
+        dists.sort_by(|a, b| a.total_cmp(b));
+        dists[minpts - 1]
+    };
 
     // Seeds: a simple binary-heap-free priority queue over reachability
     // (the classic algorithm uses a mutable-priority heap; a scan of the
@@ -124,11 +129,21 @@ pub fn optics<S: NeighborSource + ?Sized>(
         source.neighbors_of(start, &mut neighbors);
         let cd = compute_core(start, &neighbors, &mut dists, data);
         core_distance[start as usize] = cd;
-        order.push(OrderedPoint { id: start, reachability: f64::INFINITY, core_distance: cd });
+        order.push(OrderedPoint {
+            id: start,
+            reachability: f64::INFINITY,
+            core_distance: cd,
+        });
 
         if cd.is_finite() {
             update_seeds(
-                start, &neighbors, data, cd, &processed, &mut reachability, &mut seeds,
+                start,
+                &neighbors,
+                data,
+                cd,
+                &processed,
+                &mut reachability,
+                &mut seeds,
             );
         }
 
@@ -159,12 +174,24 @@ pub fn optics<S: NeighborSource + ?Sized>(
                 core_distance: cdq,
             });
             if cdq.is_finite() {
-                update_seeds(q, &neighbors, data, cdq, &processed, &mut reachability, &mut seeds);
+                update_seeds(
+                    q,
+                    &neighbors,
+                    data,
+                    cdq,
+                    &processed,
+                    &mut reachability,
+                    &mut seeds,
+                );
             }
         }
     }
 
-    OpticsOrdering { eps_max, minpts, order }
+    OpticsOrdering {
+        eps_max,
+        minpts,
+        order,
+    }
 }
 
 /// Relax the reachability of `center`'s unprocessed neighbors.
@@ -232,7 +259,10 @@ mod tests {
         // verify via pairwise same-cluster relation on core points.
         let eps_sq = eps * eps;
         let is_core = |i: usize| {
-            data.iter().filter(|q| data[i].distance_sq(q) <= eps_sq).count() >= minpts
+            data.iter()
+                .filter(|q| data[i].distance_sq(q) <= eps_sq)
+                .count()
+                >= minpts
         };
         let cores: Vec<usize> = (0..data.len()).filter(|&i| is_core(i)).collect();
         for w in cores.windows(2) {
@@ -253,7 +283,10 @@ mod tests {
         let o = optics(&src, &data, eps, 4);
         let coarse = o.extract_dbscan(1.0);
         let fine = o.extract_dbscan(0.4);
-        assert!(fine.num_clusters() >= coarse.num_clusters() || fine.noise_count() >= coarse.noise_count());
+        assert!(
+            fine.num_clusters() >= coarse.num_clusters()
+                || fine.noise_count() >= coarse.noise_count()
+        );
         assert!(fine.noise_count() >= coarse.noise_count());
     }
 

@@ -22,9 +22,11 @@ use crate::hybrid::{HybridConfig, HybridDbscan, HybridError};
 use crate::scenario::Variant;
 use gpu_sim::device::Device;
 use gpu_sim::time::SimDuration;
+use obs::Recorder;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spatial::Point2;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -41,7 +43,11 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { consumers: 3, hybrid: HybridConfig::default(), concurrent: false }
+        PipelineConfig {
+            consumers: 3,
+            hybrid: HybridConfig::default(),
+            concurrent: false,
+        }
     }
 }
 
@@ -72,9 +78,16 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Speedup of pipelining over running the stages back to back
-    /// (the right column of Table IV).
+    /// (the right column of Table IV). A degenerate report whose
+    /// pipelined total is zero (e.g. no variants) yields 0.0 rather than
+    /// NaN/inf.
     pub fn pipeline_speedup(&self) -> f64 {
-        self.non_pipelined_total.as_secs() / self.pipelined_total.as_secs().max(1e-12)
+        let pipelined = self.pipelined_total.as_secs();
+        if pipelined == 0.0 {
+            0.0
+        } else {
+            self.non_pipelined_total.as_secs() / pipelined
+        }
     }
 }
 
@@ -109,17 +122,55 @@ pub fn pipeline_makespan(g: &[SimDuration], d: &[SimDuration], consumers: usize)
 pub struct MultiClusterPipeline {
     device: Device,
     config: PipelineConfig,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl MultiClusterPipeline {
     pub fn new(device: &Device, config: PipelineConfig) -> Self {
-        MultiClusterPipeline { device: device.clone(), config }
+        MultiClusterPipeline {
+            device: device.clone(),
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Attach an [`obs::Recorder`]: stage spans, queue telemetry, and the
+    /// pipeline totals are recorded into it (and propagated to the
+    /// producer's [`HybridDbscan`]).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn make_hybrid(&self) -> HybridDbscan {
+        let hybrid = HybridDbscan::new(&self.device, self.config.hybrid);
+        match &self.recorder {
+            Some(rec) => hybrid.with_recorder(rec.clone()),
+            None => hybrid,
+        }
+    }
+
+    fn record_totals(&self, report: &PipelineReport) {
+        if let Some(rec) = &self.recorder {
+            let m = rec.metrics();
+            m.gauge_set(
+                "pipeline.non_pipelined_ms",
+                report.non_pipelined_total.as_millis(),
+            );
+            m.gauge_set("pipeline.pipelined_ms", report.pipelined_total.as_millis());
+            m.gauge_set("pipeline.speedup", report.pipeline_speedup());
+            m.counter_add("pipeline.variants", report.per_variant.len() as u64);
+        }
     }
 
     /// Cluster `data` under every variant. Stage durations are measured
     /// serially (uncontended) unless [`PipelineConfig::concurrent`] is
     /// set; the pipelined/non-pipelined totals are modeled either way.
-    pub fn run(&self, data: &[Point2], variants: &[Variant]) -> Result<PipelineReport, HybridError> {
+    pub fn run(
+        &self,
+        data: &[Point2],
+        variants: &[Variant],
+    ) -> Result<PipelineReport, HybridError> {
         if !self.config.concurrent {
             return self.run_serial(data, variants);
         }
@@ -128,14 +179,31 @@ impl MultiClusterPipeline {
 
     /// Serial measurement pass: build `T`, run DBSCAN, one variant at a
     /// time.
-    fn run_serial(&self, data: &[Point2], variants: &[Variant]) -> Result<PipelineReport, HybridError> {
-        let hybrid = HybridDbscan::new(&self.device, self.config.hybrid);
+    fn run_serial(
+        &self,
+        data: &[Point2],
+        variants: &[Variant],
+    ) -> Result<PipelineReport, HybridError> {
+        let hybrid = self.make_hybrid();
+        let rec = self.recorder.as_deref();
         let wall_start = Instant::now();
         let mut per_variant = Vec::with_capacity(variants.len());
         let mut cluster_counts = Vec::with_capacity(variants.len());
-        for v in variants {
+        for (i, v) in variants.iter().enumerate() {
+            let produce_span = rec.map(|r| {
+                let mut s = r.span(format!("produce[{i}]"), "pipeline");
+                s.arg("eps", v.eps);
+                s
+            });
             let handle = hybrid.build_table(data, v.eps)?;
+            drop(produce_span);
+            let consume_span = rec.map(|r| {
+                let mut s = r.span(format!("consume[{i}]"), "pipeline");
+                s.arg("minpts", v.minpts);
+                s
+            });
             let (clustering, dbscan_time) = HybridDbscan::cluster_with_table(&handle, v.minpts);
+            drop(consume_span);
             per_variant.push(VariantTiming {
                 variant: *v,
                 gpu_phase: handle.gpu.modeled_time,
@@ -143,7 +211,14 @@ impl MultiClusterPipeline {
             });
             cluster_counts.push(clustering.num_clusters());
         }
-        Ok(Self::assemble(per_variant, cluster_counts, self.config.consumers, wall_start))
+        let report = Self::assemble(
+            per_variant,
+            cluster_counts,
+            self.config.consumers,
+            wall_start,
+        );
+        self.record_totals(&report);
+        Ok(report)
     }
 
     fn assemble(
@@ -167,17 +242,25 @@ impl MultiClusterPipeline {
     }
 
     /// Concurrent execution: producer thread + `consumers` DBSCAN threads.
-    fn run_concurrent(&self, data: &[Point2], variants: &[Variant]) -> Result<PipelineReport, HybridError> {
-        let hybrid = HybridDbscan::new(&self.device, self.config.hybrid);
+    fn run_concurrent(
+        &self,
+        data: &[Point2],
+        variants: &[Variant],
+    ) -> Result<PipelineReport, HybridError> {
+        let hybrid = self.make_hybrid();
+        let rec = self.recorder.as_deref();
         let n = variants.len();
         let results: Mutex<Vec<Option<(VariantTiming, Clustering)>>> =
             Mutex::new((0..n).map(|_| None).collect());
         let error: Mutex<Option<HybridError>> = Mutex::new(None);
 
         let wall_start = Instant::now();
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, Variant, crate::hybrid::TableHandle)>(
-            self.config.consumers.max(1),
-        );
+        // Each message carries its send instant so consumers can report
+        // how long tables sat in the queue (producer/consumer imbalance).
+        let (tx, rx) =
+            crossbeam::channel::bounded::<(usize, Variant, crate::hybrid::TableHandle, Instant)>(
+                self.config.consumers.max(1),
+            );
 
         std::thread::scope(|s| {
             // Producer: builds tables in variant order. The bounded channel
@@ -185,9 +268,15 @@ impl MultiClusterPipeline {
             let producer_error = &error;
             s.spawn(move || {
                 for (i, v) in variants.iter().enumerate() {
+                    let produce_span = rec.map(|r| {
+                        let mut span = r.span(format!("produce[{i}]"), "pipeline");
+                        span.arg("eps", v.eps);
+                        span
+                    });
                     match hybrid.build_table(data, v.eps) {
                         Ok(handle) => {
-                            if tx.send((i, *v, handle)).is_err() {
+                            drop(produce_span);
+                            if tx.send((i, *v, handle, Instant::now())).is_err() {
                                 return;
                             }
                         }
@@ -204,9 +293,23 @@ impl MultiClusterPipeline {
                 let rx = rx.clone();
                 let results = &results;
                 s.spawn(move || {
-                    while let Ok((i, v, handle)) = rx.recv() {
+                    while let Ok((i, v, handle, sent_at)) = rx.recv() {
+                        if let Some(r) = rec {
+                            r.metrics().observe(
+                                "pipeline.queue_wait_ms",
+                                sent_at.elapsed().as_secs_f64() * 1e3,
+                            );
+                            r.metrics()
+                                .gauge_set("pipeline.queue_depth", rx.len() as f64);
+                        }
+                        let consume_span = rec.map(|r| {
+                            let mut span = r.span(format!("consume[{i}]"), "pipeline");
+                            span.arg("minpts", v.minpts);
+                            span
+                        });
                         let (clustering, dbscan_time) =
                             HybridDbscan::cluster_with_table(&handle, v.minpts);
+                        drop(consume_span);
                         let timing = VariantTiming {
                             variant: v,
                             gpu_phase: handle.gpu.modeled_time,
@@ -231,7 +334,14 @@ impl MultiClusterPipeline {
             per_variant.push(timing);
             cluster_counts.push(clustering.num_clusters());
         }
-        Ok(Self::assemble(per_variant, cluster_counts, self.config.consumers, wall_start))
+        let report = Self::assemble(
+            per_variant,
+            cluster_counts,
+            self.config.consumers,
+            wall_start,
+        );
+        self.record_totals(&report);
+        Ok(report)
     }
 }
 
@@ -292,12 +402,77 @@ mod tests {
     }
 
     #[test]
+    fn speedup_of_zero_duration_report_is_zero_not_nan() {
+        // An empty (or all-zero-stage) report must not divide by zero.
+        let report = PipelineReport {
+            per_variant: Vec::new(),
+            non_pipelined_total: secs(0.0),
+            pipelined_total: secs(0.0),
+            wall_time: std::time::Duration::ZERO,
+            cluster_counts: Vec::new(),
+        };
+        let s = report.pipeline_speedup();
+        assert_eq!(s, 0.0);
+        assert!(!s.is_nan());
+    }
+
+    #[test]
+    fn recorder_captures_pipeline_stages() {
+        let data = mixed_points(200);
+        let device = Device::k20c();
+        let rec = std::sync::Arc::new(obs::Recorder::new());
+        let pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default())
+            .with_recorder(rec.clone());
+        let variants = vec![Variant::new(0.5, 4), Variant::new(1.0, 4)];
+        pipeline.run(&data, &variants).unwrap();
+        let spans = rec.spans();
+        assert!(
+            spans.iter().any(|s| s.name == "produce[0]"),
+            "missing produce span"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "consume[1]"),
+            "missing consume span"
+        );
+        let metrics = rec.metrics().snapshot();
+        assert_eq!(metrics.counters["pipeline.variants"], 2);
+        assert!(metrics.gauges["pipeline.speedup"] >= 1.0);
+    }
+
+    #[test]
+    fn recorder_captures_queue_telemetry_in_concurrent_mode() {
+        let data = mixed_points(200);
+        let device = Device::k20c();
+        let rec = std::sync::Arc::new(obs::Recorder::new());
+        let pipeline = MultiClusterPipeline::new(
+            &device,
+            PipelineConfig {
+                concurrent: true,
+                ..Default::default()
+            },
+        )
+        .with_recorder(rec.clone());
+        let variants = vec![
+            Variant::new(0.5, 4),
+            Variant::new(0.8, 4),
+            Variant::new(1.0, 4),
+        ];
+        pipeline.run(&data, &variants).unwrap();
+        let metrics = rec.metrics().snapshot();
+        let wait = &metrics.histograms["pipeline.queue_wait_ms"];
+        assert_eq!(wait.count, 3, "one queue-wait sample per variant");
+        assert!(metrics.gauges.contains_key("pipeline.queue_depth"));
+    }
+
+    #[test]
     fn pipeline_runs_all_variants_correctly() {
         let data = mixed_points(400);
         let device = Device::k20c();
         let pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default());
-        let variants: Vec<Variant> =
-            [0.4, 0.6, 0.8, 1.0].iter().map(|&e| Variant::new(e, 4)).collect();
+        let variants: Vec<Variant> = [0.4, 0.6, 0.8, 1.0]
+            .iter()
+            .map(|&e| Variant::new(e, 4))
+            .collect();
         let report = pipeline.run(&data, &variants).unwrap();
 
         assert_eq!(report.per_variant.len(), 4);
@@ -321,7 +496,10 @@ mod tests {
     fn pipeline_with_one_consumer_still_completes() {
         let data = mixed_points(200);
         let device = Device::k20c();
-        let cfg = PipelineConfig { consumers: 1, ..Default::default() };
+        let cfg = PipelineConfig {
+            consumers: 1,
+            ..Default::default()
+        };
         let pipeline = MultiClusterPipeline::new(&device, cfg);
         let variants = vec![Variant::new(0.5, 4), Variant::new(1.0, 4)];
         let report = pipeline.run(&data, &variants).unwrap();
@@ -332,12 +510,20 @@ mod tests {
     fn concurrent_execution_matches_serial() {
         let data = mixed_points(300);
         let device = Device::k20c();
-        let variants = vec![Variant::new(0.4, 4), Variant::new(0.7, 4), Variant::new(1.0, 4)];
-        let serial =
-            MultiClusterPipeline::new(&device, PipelineConfig::default()).run(&data, &variants).unwrap();
+        let variants = vec![
+            Variant::new(0.4, 4),
+            Variant::new(0.7, 4),
+            Variant::new(1.0, 4),
+        ];
+        let serial = MultiClusterPipeline::new(&device, PipelineConfig::default())
+            .run(&data, &variants)
+            .unwrap();
         let concurrent = MultiClusterPipeline::new(
             &device,
-            PipelineConfig { concurrent: true, ..Default::default() },
+            PipelineConfig {
+                concurrent: true,
+                ..Default::default()
+            },
         )
         .run(&data, &variants)
         .unwrap();

@@ -25,7 +25,11 @@ pub struct TimedSource<S> {
 
 impl<S: NeighborSource> TimedSource<S> {
     pub fn new(inner: S) -> Self {
-        TimedSource { inner, nanos: AtomicU64::new(0), queries: AtomicU64::new(0) }
+        TimedSource {
+            inner,
+            nanos: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
     }
 
     /// Accumulated search time.
@@ -43,7 +47,8 @@ impl<S: NeighborSource> NeighborSource for TimedSource<S> {
     fn neighbors_of(&self, id: u32, out: &mut Vec<u32>) {
         let t0 = Instant::now();
         self.inner.neighbors_of(id, out);
-        self.nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.queries.fetch_add(1, Ordering::Relaxed);
     }
 

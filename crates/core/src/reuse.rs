@@ -23,9 +23,11 @@ use crate::dbscan::{Clustering, Dbscan, TableSource};
 use crate::hybrid::{HybridConfig, HybridDbscan, HybridError, TableHandle};
 use gpu_sim::device::Device;
 use gpu_sim::time::SimDuration;
+use obs::Recorder;
 use parking_lot::Mutex;
 use spatial::Point2;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Work-queue makespan: `t` lanes pull jobs in order; each job runs on
@@ -84,11 +86,24 @@ impl ReuseRun {
 pub struct TableReuse {
     device: Device,
     config: HybridConfig,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl TableReuse {
     pub fn new(device: &Device, config: HybridConfig) -> Self {
-        TableReuse { device: device.clone(), config }
+        TableReuse {
+            device: device.clone(),
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Attach an [`obs::Recorder`]: per-variant spans and reuse metrics
+    /// are recorded into it (and propagated to the table-building
+    /// [`HybridDbscan`]).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Build the table for `eps` once, then measure DBSCAN for every
@@ -99,26 +114,58 @@ impl TableReuse {
         eps: f64,
         minpts_values: &[usize],
     ) -> Result<(TableHandle, ReuseRun), HybridError> {
-        let hybrid = HybridDbscan::new(&self.device, self.config);
+        let mut hybrid = HybridDbscan::new(&self.device, self.config);
+        if let Some(rec) = &self.recorder {
+            hybrid = hybrid.with_recorder(rec.clone());
+        }
         let handle = hybrid.build_table(data, eps)?;
-        let run = Self::cluster_variants(&handle, minpts_values);
+        let run =
+            Self::cluster_variants_with_recorder(&handle, minpts_values, self.recorder.as_deref());
         Ok((handle, run))
     }
 
     /// The measurement pass alone, given a prebuilt table: each variant is
     /// clustered once, serially, and timed.
     pub fn cluster_variants(handle: &TableHandle, minpts_values: &[usize]) -> ReuseRun {
+        Self::cluster_variants_with_recorder(handle, minpts_values, None)
+    }
+
+    /// [`Self::cluster_variants`] with optional span/metric recording.
+    pub fn cluster_variants_with_recorder(
+        handle: &TableHandle,
+        minpts_values: &[usize],
+        rec: Option<&Recorder>,
+    ) -> ReuseRun {
         let wall_start = Instant::now();
-        let mut durations = Vec::with_capacity(minpts_values.len());
+        let reuse_span = rec.map(|r| {
+            let mut s = r.span("table_reuse", "reuse");
+            s.arg("variants", minpts_values.len());
+            s
+        });
+        let mut durations: Vec<SimDuration> = Vec::with_capacity(minpts_values.len());
         let mut counts = Vec::with_capacity(minpts_values.len());
         for &m in minpts_values {
+            let variant_span = rec.map(|r| {
+                let mut s = r.span(format!("reuse_dbscan[minpts={m}]"), "reuse");
+                s.arg("minpts", m);
+                s
+            });
             let t0 = Instant::now();
             // Membership statistics are permutation-invariant, so work
             // directly in table (sorted) order.
-            let clustering: Clustering =
-                Dbscan::new(m).run(&TableSource::new(&handle.table));
+            let clustering: Clustering = Dbscan::new(m).run(&TableSource::new(&handle.table));
             durations.push(t0.elapsed().into());
             counts.push(clustering.num_clusters());
+            drop(variant_span);
+        }
+        drop(reuse_span);
+        if let Some(r) = rec {
+            let m = r.metrics();
+            m.gauge_set("reuse.table_ms", handle.gpu.modeled_time.as_millis());
+            m.counter_add("reuse.variants", minpts_values.len() as u64);
+            for d in &durations {
+                m.observe("reuse.dbscan_ms", d.as_millis());
+            }
         }
         ReuseRun {
             eps: handle.table.eps(),
@@ -237,6 +284,23 @@ mod tests {
         let serial = TableReuse::cluster_variants(&handle, &minpts);
         let concurrent = TableReuse::run_concurrent(&handle, &minpts, 4);
         assert_eq!(serial.cluster_counts, concurrent);
+    }
+
+    #[test]
+    fn recorder_captures_reuse_metrics() {
+        let data = mixed_points(300);
+        let device = Device::k20c();
+        let rec = std::sync::Arc::new(Recorder::new());
+        let reuse = TableReuse::new(&device, HybridConfig::default()).with_recorder(rec.clone());
+        let minpts = [2usize, 4, 8];
+        let (_, run) = reuse.run(&data, 0.6, &minpts).unwrap();
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.name == "table_reuse"));
+        assert!(spans.iter().any(|s| s.name == "reuse_dbscan[minpts=4]"));
+        let m = rec.metrics().snapshot();
+        assert_eq!(m.counters["reuse.variants"], 3);
+        assert_eq!(m.histograms["reuse.dbscan_ms"].count, 3);
+        assert!((m.gauges["reuse.table_ms"] - run.table_time.as_millis()).abs() < 1e-9,);
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub fn s2_variants(dataset: &str) -> Vec<Variant> {
         "SDSS3" => eps_sweep(0.06, 0.01, 8),
         other => panic!("unknown dataset {other}"),
     };
-    eps_values.into_iter().map(|eps| Variant::new(eps, 4)).collect()
+    eps_values
+        .into_iter()
+        .map(|eps| Variant::new(eps, 4))
+        .collect()
 }
 
 /// The 16-value `minpts` set of Table V for a given dataset class/ε row.
@@ -61,11 +64,17 @@ fn s3_minpts(dataset: &str, eps: f64) -> Vec<usize> {
                     10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 400, 800, 1000, 2000, 3000,
                 ]
             } else {
-                vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80]
+                vec![
+                    5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80,
+                ]
             }
         }
-        "SDSS2" => vec![5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150],
-        "SDSS3" => vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80],
+        "SDSS2" => vec![
+            5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150,
+        ],
+        "SDSS3" => vec![
+            5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80,
+        ],
         other => panic!("unknown dataset {other}"),
     }
 }
@@ -80,7 +89,10 @@ pub fn s3_rows(dataset: &str) -> Vec<(f64, Vec<usize>)> {
         "SDSS3" => vec![0.07, 0.11, 0.15],
         other => panic!("unknown dataset {other}"),
     };
-    eps_values.into_iter().map(|e| (e, s3_minpts(dataset, e))).collect()
+    eps_values
+        .into_iter()
+        .map(|e| (e, s3_minpts(dataset, e)))
+        .collect()
 }
 
 /// All dataset names, in the paper's reporting order.

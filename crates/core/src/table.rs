@@ -140,7 +140,11 @@ impl NeighborTable {
             }
             values.push(v);
         }
-        Ok(NeighborTable { eps, ranges, values })
+        Ok(NeighborTable {
+            eps,
+            ranges,
+            values,
+        })
     }
 
     const MAGIC: &'static [u8; 8] = b"HDBSCNT1";
@@ -215,7 +219,13 @@ impl NeighborTableBuilder {
                 segment.push(pairs[i].1);
                 i += 1;
             }
-            local.push((key, TableRange { start: start as u64, end: i as u64 }));
+            local.push((
+                key,
+                TableRange {
+                    start: start as u64,
+                    end: i as u64,
+                },
+            ));
         }
 
         let mut state = self.state.lock();
@@ -243,7 +253,11 @@ impl NeighborTableBuilder {
     /// Concatenate the batch segments into `B` and rebase ranges.
     pub fn finalize(self) -> NeighborTable {
         let state = self.state.into_inner();
-        let BuilderState { mut ranges, owner, segments } = state;
+        let BuilderState {
+            mut ranges,
+            owner,
+            segments,
+        } = state;
 
         // Prefix offsets of each batch's segment within B.
         let mut offsets = Vec::with_capacity(segments.len());
@@ -267,7 +281,11 @@ impl NeighborTableBuilder {
             values.extend_from_slice(&seg);
         }
 
-        NeighborTable { eps: self.eps, ranges, values }
+        NeighborTable {
+            eps: self.eps,
+            ranges,
+            values,
+        }
     }
 }
 

@@ -62,7 +62,12 @@ pub fn sw_class(n: usize, width: f64, height: f64, n_sites: usize, seed: u64) ->
         // denser than the dataset mean).
         let sigma = 0.05 + rng.random::<f64>() * 0.2;
         cum += w;
-        sites.push(Site { x, y, sigma, cum_weight: cum });
+        sites.push(Site {
+            x,
+            y,
+            sigma,
+            cum_weight: cum,
+        });
     }
     let total_weight = cum;
 
@@ -73,14 +78,19 @@ pub fn sw_class(n: usize, width: f64, height: f64, n_sites: usize, seed: u64) ->
     for _ in 0..n_clumped {
         // Weighted site choice by binary search on cumulative weights.
         let target = rng.random::<f64>() * total_weight;
-        let idx = sites.partition_point(|s| s.cum_weight < target).min(n_sites - 1);
+        let idx = sites
+            .partition_point(|s| s.cum_weight < target)
+            .min(n_sites - 1);
         let s = &sites[idx];
         let x = (s.x + sample_normal(&mut rng) * s.sigma).clamp(0.0, width);
         let y = (s.y + sample_normal(&mut rng) * s.sigma).clamp(0.0, height);
         points.push(Point2::new(x, y));
     }
     for _ in 0..n_background {
-        points.push(Point2::new(rng.random::<f64>() * width, rng.random::<f64>() * height));
+        points.push(Point2::new(
+            rng.random::<f64>() * width,
+            rng.random::<f64>() * height,
+        ));
     }
     points
 }
@@ -109,7 +119,10 @@ pub fn sdss_class(n: usize, width: f64, height: f64, seed: u64) -> Vec<Point2> {
 
     let mut points = Vec::with_capacity(n);
     for _ in 0..n_uniform {
-        points.push(Point2::new(rng.random::<f64>() * width, rng.random::<f64>() * height));
+        points.push(Point2::new(
+            rng.random::<f64>() * width,
+            rng.random::<f64>() * height,
+        ));
     }
     for _ in 0..n_structured {
         let (kx, ky) = knots[rng.random_range(0..n_knots)];
@@ -129,8 +142,11 @@ mod tests {
     /// skewness measure distinguishing SW from SDSS.
     fn cell_count_cv(points: &[Point2], eps: f64) -> f64 {
         let g = GridIndex::build(points, eps);
-        let counts: Vec<f64> =
-            g.non_empty_cells().iter().map(|&h| g.cells()[h as usize].len() as f64).collect();
+        let counts: Vec<f64> = g
+            .non_empty_cells()
+            .iter()
+            .map(|&h| g.cells()[h as usize].len() as f64)
+            .collect();
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
         let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
         var.sqrt() / mean
@@ -159,7 +175,10 @@ mod tests {
         assert_eq!(a, b);
         let c = sw_class(1000, 100.0, 100.0, 30, 8);
         assert_ne!(a, c);
-        assert_eq!(sdss_class(1000, 100.0, 100.0, 7), sdss_class(1000, 100.0, 100.0, 7));
+        assert_eq!(
+            sdss_class(1000, 100.0, 100.0, 7),
+            sdss_class(1000, 100.0, 100.0, 7)
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("hybrid_dbscan_io_test_{name}_{}", std::process::id()));
+        p.push(format!(
+            "hybrid_dbscan_io_test_{name}_{}",
+            std::process::id()
+        ));
         p
     }
 

@@ -98,7 +98,9 @@ pub const ALL: [DatasetSpec; 5] = [SW1, SW4, SDSS1, SDSS2, SDSS3];
 
 /// Look up a spec by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<DatasetSpec> {
-    ALL.iter().find(|s| s.name.eq_ignore_ascii_case(name)).copied()
+    ALL.iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .copied()
 }
 
 impl DatasetSpec {
@@ -119,7 +121,11 @@ impl DatasetSpec {
             }
             DatasetClass::Sdss => sdss_class(n, w, h, self.seed),
         };
-        Dataset { spec: *self, scale, points }
+        Dataset {
+            spec: *self,
+            scale,
+            points,
+        }
     }
 }
 
@@ -200,7 +206,10 @@ mod tests {
         // SDSS1 at scale 1: 2M / 9000 deg^2 ~ 222/deg^2.
         let sw_density = SW1.full_size as f64 / (SW1.width * SW1.height);
         let sdss_density = SDSS1.full_size as f64 / (SDSS1.width * SDSS1.height);
-        assert!(sdss_density > sw_density, "survey footprint is denser on average");
+        assert!(
+            sdss_density > sw_density,
+            "survey footprint is denser on average"
+        );
     }
 
     #[test]

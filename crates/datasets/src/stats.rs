@@ -27,16 +27,21 @@ impl DatasetStats {
 
     /// Compute statistics using `cell` as the analysis-grid width.
     pub fn compute_with_cell(points: &[Point2], cell: f64) -> Self {
-        assert!(!points.is_empty(), "stats of an empty dataset are undefined");
+        assert!(
+            !points.is_empty(),
+            "stats of an empty dataset are undefined"
+        );
         let bounds = spatial::Aabb::from_points(points.iter());
         let area = bounds.area().max(f64::MIN_POSITIVE);
 
         let g = GridIndex::build(points, cell);
-        let counts: Vec<f64> =
-            g.non_empty_cells().iter().map(|&h| g.cells()[h as usize].len() as f64).collect();
+        let counts: Vec<f64> = g
+            .non_empty_cells()
+            .iter()
+            .map(|&h| g.cells()[h as usize].len() as f64)
+            .collect();
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-        let var =
-            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
 
         DatasetStats {
             n_points: points.len(),
@@ -53,7 +58,13 @@ impl DatasetStats {
     pub fn summary(&self) -> String {
         format!(
             "n={} extent=[{:.1},{:.1}]x[{:.1},{:.1}] density={:.2}/unit^2 skew(cv)={:.2}",
-            self.n_points, self.min_x, self.max_x, self.min_y, self.max_y, self.density, self.cell_cv
+            self.n_points,
+            self.min_x,
+            self.max_x,
+            self.min_y,
+            self.max_y,
+            self.density,
+            self.cell_cv
         )
     }
 }

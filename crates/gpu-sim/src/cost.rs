@@ -143,8 +143,8 @@ pub fn kernel_duration(
     // Issue bound: warp cycles over aggregate scheduler width; higher
     // occupancy hides a fraction of stall cycles.
     let hiding = 1.0 - model.latency_hiding * occupancy;
-    let total_cycles: f64 = block_cycles.iter().sum::<f64>()
-        + model.block_overhead_cycles * block_cycles.len() as f64;
+    let total_cycles: f64 =
+        block_cycles.iter().sum::<f64>() + model.block_overhead_cycles * block_cycles.len() as f64;
     let issue_width = (props.sm_count * props.warp_schedulers) as f64;
     let compute_time = total_cycles * hiding / issue_width / (props.clock_ghz * 1e9);
 
@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn thread_cycles_compose_linearly() {
         let m = CostModel::kepler();
-        let c = Counters { flops: 10, global_read_bytes: 40, ..Default::default() };
+        let c = Counters {
+            flops: 10,
+            global_read_bytes: 40,
+            ..Default::default()
+        };
         assert_eq!(
             c.thread_cycles(&m),
             10.0 * m.cycles_per_flop + 10.0 * m.cycles_per_global_word
@@ -172,8 +176,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Counters { flops: 1, atomics: 2, ..Default::default() };
-        let b = Counters { flops: 3, shared_bytes: 8, ..Default::default() };
+        let mut a = Counters {
+            flops: 1,
+            atomics: 2,
+            ..Default::default()
+        };
+        let b = Counters {
+            flops: 3,
+            shared_bytes: 8,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.flops, 4);
         assert_eq!(a.atomics, 2);
@@ -203,11 +215,21 @@ mod tests {
         let cfg = LaunchConfig::new(16, 256);
         // Tiny compute but a huge memory footprint: duration must be at
         // least DRAM traffic / bandwidth. Writes are not cache-filtered.
-        let totals = Counters { global_write_bytes: 208_000_000_000, ..Default::default() };
+        let totals = Counters {
+            global_write_bytes: 208_000_000_000,
+            ..Default::default()
+        };
         let d = kernel_duration(&props(), &m, &cfg, &[1.0; 16], &totals);
-        assert!(d.as_secs() >= 1.0, "208 GB at 208 GB/s is >= 1 s, got {}", d.as_secs());
+        assert!(
+            d.as_secs() >= 1.0,
+            "208 GB at 208 GB/s is >= 1 s, got {}",
+            d.as_secs()
+        );
         // Reads are filtered by the cache-hit fraction.
-        let reads = Counters { global_read_bytes: 208_000_000_000, ..Default::default() };
+        let reads = Counters {
+            global_read_bytes: 208_000_000_000,
+            ..Default::default()
+        };
         let dr = kernel_duration(&props(), &m, &cfg, &[1.0; 16], &reads);
         assert!(dr < d, "cached reads must cost less than writes");
         assert!(dr.as_secs() >= 0.2, "cache miss fraction still pays DRAM");
@@ -219,9 +241,20 @@ mod tests {
         // Same total work split into 100 vs 100_000 blocks.
         let few_cfg = LaunchConfig::new(100, 256);
         let many_cfg = LaunchConfig::new(100_000, 256);
-        let few = kernel_duration(&props(), &m, &few_cfg, &[10_000.0; 100], &Counters::default());
-        let many =
-            kernel_duration(&props(), &m, &many_cfg, &[10.0; 100_000], &Counters::default());
+        let few = kernel_duration(
+            &props(),
+            &m,
+            &few_cfg,
+            &[10_000.0; 100],
+            &Counters::default(),
+        );
+        let many = kernel_duration(
+            &props(),
+            &m,
+            &many_cfg,
+            &[10.0; 100_000],
+            &Counters::default(),
+        );
         assert!(
             many > few,
             "per-block overhead must dominate for tiny blocks: {} vs {}",

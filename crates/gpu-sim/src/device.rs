@@ -99,7 +99,11 @@ impl Device {
 
     /// The default simulated K20c.
     pub fn k20c() -> Self {
-        Self::with_props(DeviceProps::k20c(), CostModel::kepler(), TransferModel::pcie2())
+        Self::with_props(
+            DeviceProps::k20c(),
+            CostModel::kepler(),
+            TransferModel::pcie2(),
+        )
     }
 
     /// A tiny device for exercising memory-pressure paths in tests.
@@ -178,7 +182,11 @@ mod tests {
     #[test]
     fn k20c_profile_matches_paper() {
         let p = DeviceProps::k20c();
-        assert_eq!(p.global_mem_bytes, 5 * 1024 * 1024 * 1024, "the paper's card has 5 GB");
+        assert_eq!(
+            p.global_mem_bytes,
+            5 * 1024 * 1024 * 1024,
+            "the paper's card has 5 GB"
+        );
         assert_eq!(p.sm_count, 13);
         assert_eq!(p.warp_size, 32);
     }

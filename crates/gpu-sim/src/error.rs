@@ -14,10 +14,7 @@ pub enum DeviceError {
     /// A kernel appended more results than the output buffer's capacity.
     /// The batching scheme's overestimation factor α is chosen so this
     /// never happens; tests assert on it.
-    BufferOverflow {
-        capacity: usize,
-        attempted: usize,
-    },
+    BufferOverflow { capacity: usize, attempted: usize },
     /// A launch configuration violated device limits.
     InvalidLaunch(String),
     /// A block requested more shared memory than the per-block limit.
@@ -55,12 +52,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DeviceError::OutOfMemory { requested_bytes: 100, available_bytes: 10 };
+        let e = DeviceError::OutOfMemory {
+            requested_bytes: 100,
+            available_bytes: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
-        let e = DeviceError::BufferOverflow { capacity: 5, attempted: 6 };
+        let e = DeviceError::BufferOverflow {
+            capacity: 5,
+            attempted: 6,
+        };
         assert!(e.to_string().contains("overflow"));
-        let e = DeviceError::SharedMemExceeded { requested_bytes: 1, limit_bytes: 2 };
+        let e = DeviceError::SharedMemExceeded {
+            requested_bytes: 1,
+            limit_bytes: 2,
+        };
         assert!(e.to_string().contains("shared memory"));
     }
 }

@@ -25,7 +25,10 @@ impl<T: Copy + Default> PinnedBuffer<T> {
     pub fn new(device: &Device, len: usize) -> Self {
         let bytes = len * std::mem::size_of::<T>();
         let alloc_time = device.transfer_model().pin_time(bytes);
-        PinnedBuffer { data: vec![T::default(); len], alloc_time }
+        PinnedBuffer {
+            data: vec![T::default(); len],
+            alloc_time,
+        }
     }
 
     /// The modeled cost of having allocated this buffer.

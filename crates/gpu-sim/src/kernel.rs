@@ -384,9 +384,23 @@ mod tests {
         let d = Device::k20c();
         let cfg = LaunchConfig::new(8192, 256);
         // Divergent: one lane per warp does 32000 flops, 31 lanes do 1.
-        let div = d.launch(cfg, &DivergentKernel { heavy_flops: 32_000 }).unwrap();
+        let div = d
+            .launch(
+                cfg,
+                &DivergentKernel {
+                    heavy_flops: 32_000,
+                },
+            )
+            .unwrap();
         // Uniform: every lane does the warp-average ~1001 flops.
-        let uni = d.launch(cfg, &UniformKernel { flops_per_thread: 1001 }).unwrap();
+        let uni = d
+            .launch(
+                cfg,
+                &UniformKernel {
+                    flops_per_thread: 1001,
+                },
+            )
+            .unwrap();
         assert!(
             div.duration.as_secs() > 5.0 * uni.duration.as_secs(),
             "warp-max must punish divergence: {} vs {}",
@@ -431,11 +445,17 @@ mod tests {
         let (current, peak) = (AtomicU64::new(0), AtomicU64::new(0));
         d.launch(
             LaunchConfig::new(32, 32),
-            &Concurrency { current: &current, peak: &peak },
+            &Concurrency {
+                current: &current,
+                peak: &peak,
+            },
         )
         .unwrap();
         if rayon::current_num_threads() > 1 {
-            assert!(peak.load(Ordering::SeqCst) > 1, "blocks should overlap on a multicore host");
+            assert!(
+                peak.load(Ordering::SeqCst) > 1,
+                "blocks should overlap on a multicore host"
+            );
         }
     }
 

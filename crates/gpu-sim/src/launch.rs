@@ -18,7 +18,11 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     pub fn new(grid_dim: u32, block_dim: u32) -> Self {
-        LaunchConfig { grid_dim, block_dim, shared_mem_bytes: 0 }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+            shared_mem_bytes: 0,
+        }
     }
 
     pub fn with_shared_mem(mut self, bytes: usize) -> Self {
@@ -41,7 +45,9 @@ impl LaunchConfig {
     /// Validate against device limits.
     pub fn validate(&self, props: &DeviceProps) -> Result<(), DeviceError> {
         if self.block_dim == 0 {
-            return Err(DeviceError::InvalidLaunch("block_dim must be positive".into()));
+            return Err(DeviceError::InvalidLaunch(
+                "block_dim must be positive".into(),
+            ));
         }
         if self.block_dim > props.max_threads_per_block {
             return Err(DeviceError::InvalidLaunch(format!(
@@ -107,7 +113,10 @@ mod tests {
         let p = props();
         assert!(LaunchConfig::new(1, 0).validate(&p).is_err());
         assert!(LaunchConfig::new(1, 2048).validate(&p).is_err());
-        assert!(LaunchConfig::new(1, 100).validate(&p).is_err(), "not warp-multiple");
+        assert!(
+            LaunchConfig::new(1, 100).validate(&p).is_err(),
+            "not warp-multiple"
+        );
         assert!(LaunchConfig::new(1, 256)
             .with_shared_mem(64 * 1024)
             .validate(&p)

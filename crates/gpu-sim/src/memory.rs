@@ -30,11 +30,21 @@ pub struct DeviceBuffer<T: Copy> {
 impl<T: Copy> DeviceBuffer<T> {
     /// Allocate and upload `host` to the device (H2D). Returns the buffer
     /// and the modeled transfer duration.
-    pub fn from_host(device: &Device, host: &[T], pinned: bool) -> Result<(Self, SimDuration), DeviceError> {
+    pub fn from_host(
+        device: &Device,
+        host: &[T],
+        pinned: bool,
+    ) -> Result<(Self, SimDuration), DeviceError> {
         let bytes = std::mem::size_of_val(host);
         device.alloc_bytes(bytes)?;
         let t = device.transfer_model().transfer_time(bytes, pinned);
-        Ok((DeviceBuffer { device: device.clone(), data: host.to_vec() }, t))
+        Ok((
+            DeviceBuffer {
+                device: device.clone(),
+                data: host.to_vec(),
+            },
+            t,
+        ))
     }
 
     /// Allocate zero-initialized device memory without an upload.
@@ -44,7 +54,10 @@ impl<T: Copy> DeviceBuffer<T> {
     {
         let bytes = len * std::mem::size_of::<T>();
         device.alloc_bytes(bytes)?;
-        Ok(DeviceBuffer { device: device.clone(), data: vec![T::default(); len] })
+        Ok(DeviceBuffer {
+            device: device.clone(),
+            data: vec![T::default(); len],
+        })
     }
 
     /// Device-side view of the data (what a kernel dereferences).
@@ -89,7 +102,8 @@ impl<T: Copy> DeviceBuffer<T> {
 
 impl<T: Copy> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        self.device.free_bytes(self.data.capacity() * std::mem::size_of::<T>());
+        self.device
+            .free_bytes(self.data.capacity() * std::mem::size_of::<T>());
     }
 }
 
@@ -118,8 +132,9 @@ impl<T: Copy + Send + Default> DeviceAppendBuffer<T> {
     pub fn new(device: &Device, capacity: usize) -> Result<Self, DeviceError> {
         let bytes = capacity * std::mem::size_of::<T>();
         device.alloc_bytes(bytes)?;
-        let slots: Box<[UnsafeCell<T>]> =
-            (0..capacity).map(|_| UnsafeCell::new(T::default())).collect();
+        let slots: Box<[UnsafeCell<T>]> = (0..capacity)
+            .map(|_| UnsafeCell::new(T::default()))
+            .collect();
         Ok(DeviceAppendBuffer {
             device: device.clone(),
             slots,
@@ -201,7 +216,8 @@ impl<T: Copy + Send + Default> DeviceAppendBuffer<T> {
 
 impl<T: Copy + Send> Drop for DeviceAppendBuffer<T> {
     fn drop(&mut self) {
-        self.device.free_bytes(self.slots.len() * std::mem::size_of::<T>());
+        self.device
+            .free_bytes(self.slots.len() * std::mem::size_of::<T>());
     }
 }
 
@@ -218,7 +234,10 @@ impl RawAlloc {
     /// Reserve `bytes` of device global memory.
     pub fn new(device: &Device, bytes: usize) -> Result<Self, DeviceError> {
         device.alloc_bytes(bytes)?;
-        Ok(RawAlloc { device: device.clone(), bytes })
+        Ok(RawAlloc {
+            device: device.clone(),
+            bytes,
+        })
     }
 
     pub fn bytes(&self) -> usize {
@@ -241,7 +260,10 @@ pub struct DeviceCounter {
 impl DeviceCounter {
     pub fn new(device: &Device) -> Result<Self, DeviceError> {
         device.alloc_bytes(std::mem::size_of::<u64>())?;
-        Ok(DeviceCounter { device: device.clone(), value: AtomicU64::new(0) })
+        Ok(DeviceCounter {
+            device: device.clone(),
+            value: AtomicU64::new(0),
+        })
     }
 
     #[inline]
@@ -307,7 +329,10 @@ mod tests {
         assert!(buf.overflowed());
         assert_eq!(buf.rejected(), 1);
         // Overflowed appends do not clobber valid data.
-        assert_eq!(buf.as_filled_slice(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            buf.as_filled_slice(),
+            (0..10).collect::<Vec<_>>().as_slice()
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ mod tests {
             config: LaunchConfig::for_elements(threads as usize, 256),
             threads_launched: threads,
             duration: SimDuration::from_millis(ms),
-            counters: Counters { flops: threads, global_read_bytes: threads * 8, ..Default::default() },
+            counters: Counters {
+                flops: threads,
+                global_read_bytes: threads * 8,
+                ..Default::default()
+            },
             occupancy: occ,
         }
     }

@@ -29,7 +29,11 @@ pub struct OpSpec {
 
 impl OpSpec {
     pub fn new(engine: Engine, duration: SimDuration, label: &'static str) -> Self {
-        OpSpec { engine, duration, label }
+        OpSpec {
+            engine,
+            duration,
+            label,
+        }
     }
 }
 
@@ -69,16 +73,35 @@ impl Schedule {
             .fold(SimTime::ZERO, SimTime::max)
     }
 
+    /// The distinct op labels appearing in this schedule, in first-seen
+    /// order. These are exactly the names a trace exporter should emit for
+    /// the schedule's events, so the ASCII Gantt legend and an exported
+    /// Chrome trace agree.
+    pub fn op_labels(&self) -> Vec<&'static str> {
+        let mut labels: Vec<&'static str> = Vec::new();
+        for op in &self.ops {
+            if !labels.contains(&op.label) {
+                labels.push(op.label);
+            }
+        }
+        labels
+    }
+
     /// Render the schedule as an ASCII Gantt chart, one row per engine,
     /// `width` columns spanning the makespan. Each op is drawn with its
     /// chain number (mod 10); idle time is `.`.
+    ///
+    /// Degenerate inputs render degenerate-but-valid output rather than
+    /// panicking: `width` 0 or 1 collapses every row to at most one
+    /// column, an empty schedule prints only the header, and a
+    /// zero-makespan schedule draws every op at column 0.
     ///
     /// This is the picture behind the batching scheme's claim: with 3
     /// streams, the D2H copies and host ingestion of batch `l` hide under
     /// the kernel of batch `l+1`.
     pub fn render_gantt(&self, width: usize) -> String {
-        let width = width.max(10);
-        let span = self.makespan.as_secs().max(1e-12);
+        let width = width.max(1);
+        let span = self.makespan.as_secs();
         // Collect engines in stable order.
         let mut engines: Vec<Engine> = Vec::new();
         for op in &self.ops {
@@ -100,12 +123,29 @@ impl Schedule {
             self.n_streams,
             self.makespan.as_millis()
         ));
+        if !self.ops.is_empty() {
+            out.push_str("ops: ");
+            out.push_str(&self.op_labels().join(", "));
+            out.push('\n');
+        }
+        // Map a simulated time to a column; with a zero-extent schedule
+        // everything lands on column 0.
+        let col = |t: f64| -> usize {
+            if span <= 0.0 {
+                0
+            } else {
+                ((t / span) * width as f64).min(width as f64) as usize
+            }
+        };
         for engine in engines {
             let mut row = vec!['.'; width];
             for op in self.ops.iter().filter(|o| o.engine == engine) {
-                let a = ((op.start.as_secs() / span) * width as f64) as usize;
-                let b = (((op.end - SimTime::ZERO).as_secs() / span) * width as f64).ceil()
-                    as usize;
+                let a = col(op.start.as_secs());
+                let b = if span <= 0.0 {
+                    1
+                } else {
+                    (((op.end - SimTime::ZERO).as_secs() / span) * width as f64).ceil() as usize
+                };
                 let glyph = char::from_digit((op.chain % 10) as u32, 10).unwrap_or('#');
                 for c in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
                     *c = glyph;
@@ -204,7 +244,11 @@ pub fn schedule_chains(
         }
     }
 
-    Schedule { ops, makespan: timeline.makespan(), n_streams }
+    Schedule {
+        ops,
+        makespan: timeline.makespan(),
+        n_streams,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +284,10 @@ mod tests {
         // Two batches: batch 1's kernel should run while batch 0's result
         // transfers.
         let mut t = Timeline::new(3);
-        let chains = vec![batch_chain(1.0, 0.0, 1.0, 0.0), batch_chain(1.0, 0.0, 1.0, 0.0)];
+        let chains = vec![
+            batch_chain(1.0, 0.0, 1.0, 0.0),
+            batch_chain(1.0, 0.0, 1.0, 0.0),
+        ];
         let s = schedule_chains(&mut t, &chains, 3);
         // Serialized would be 4.0; overlap brings it to 3.0.
         assert!(
@@ -262,12 +309,19 @@ mod tests {
 
     #[test]
     fn one_stream_disables_overlap() {
-        let chains = vec![batch_chain(1.0, 0.0, 1.0, 0.0), batch_chain(1.0, 0.0, 1.0, 0.0)];
+        let chains = vec![
+            batch_chain(1.0, 0.0, 1.0, 0.0),
+            batch_chain(1.0, 0.0, 1.0, 0.0),
+        ];
         let mut t1 = Timeline::new(3);
         let serial = schedule_chains(&mut t1, &chains, 1);
         let mut t3 = Timeline::new(3);
         let overlapped = schedule_chains(&mut t3, &chains.clone(), 3);
-        assert_eq!(serial.makespan.as_secs(), 4.0, "one stream fully serializes");
+        assert_eq!(
+            serial.makespan.as_secs(),
+            4.0,
+            "one stream fully serializes"
+        );
         assert!(overlapped.makespan < serial.makespan);
     }
 
@@ -329,6 +383,51 @@ mod tests {
         let s = schedule_chains(&mut t, &[], 3);
         let g = s.render_gantt(40);
         assert!(g.contains("0 ops"));
+        // No op legend and no engine rows for an empty schedule.
+        assert!(!g.contains("ops: "), "{g}");
+        assert_eq!(g.lines().count(), 1, "{g}");
+    }
+
+    #[test]
+    fn gantt_degenerate_widths_do_not_panic() {
+        let mut t = Timeline::new(3);
+        let chains = vec![batch_chain(1.0, 0.2, 1.0, 0.5); 2];
+        let s = schedule_chains(&mut t, &chains, 3);
+        for width in [0, 1, 2] {
+            let g = s.render_gantt(width);
+            assert!(g.contains("Compute"), "width={width}: {g}");
+            // Every row is exactly max(width, 1) columns wide.
+            let expect = width.max(1);
+            for line in g.lines().filter(|l| l.contains('|')) {
+                let cols = line.split('|').nth(1).unwrap().chars().count();
+                assert_eq!(cols, expect, "width={width}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn gantt_zero_duration_schedule() {
+        // All-zero durations: makespan 0, every op collapses to column 0.
+        let mut t = Timeline::new(1);
+        let chains = vec![vec![
+            OpSpec::new(Engine::Compute, secs(0.0), "kernel"),
+            OpSpec::new(Engine::D2H, secs(0.0), "d2h"),
+        ]];
+        let s = schedule_chains(&mut t, &chains, 3);
+        assert_eq!(s.makespan.as_secs(), 0.0);
+        let g = s.render_gantt(20);
+        assert!(g.contains("Compute"), "{g}");
+        assert!(g.contains('0'), "ops must still be drawn: {g}");
+    }
+
+    #[test]
+    fn gantt_legend_lists_op_labels() {
+        let mut t = Timeline::new(3);
+        let chains = vec![batch_chain(1.0, 0.2, 1.0, 0.5)];
+        let s = schedule_chains(&mut t, &chains, 3);
+        assert_eq!(s.op_labels(), vec!["kernel", "sort", "d2h", "construct"]);
+        let g = s.render_gantt(40);
+        assert!(g.contains("ops: kernel, sort, d2h, construct"), "{g}");
     }
 
     #[test]

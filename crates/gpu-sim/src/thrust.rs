@@ -20,7 +20,8 @@ const SORT_OVERHEAD_US: f64 = 30.0;
 
 /// Modeled duration of a device `sort_by_key` over `n` pairs.
 pub fn sort_by_key_time(n: usize) -> SimDuration {
-    SimDuration::from_micros(SORT_OVERHEAD_US) + SimDuration::from_secs(n as f64 / SORT_PAIRS_PER_SEC)
+    SimDuration::from_micros(SORT_OVERHEAD_US)
+        + SimDuration::from_secs(n as f64 / SORT_PAIRS_PER_SEC)
 }
 
 /// Sort `(key, value)` pairs by key on the device, returning the modeled
@@ -111,8 +112,9 @@ mod tests {
     fn large_parallel_sort_is_correct() {
         let d = Device::k20c();
         let n = 100_000u32;
-        let mut pairs: Vec<(u32, u32)> =
-            (0..n).map(|i| ((i.wrapping_mul(2654435761)) % 1000, i)).collect();
+        let mut pairs: Vec<(u32, u32)> = (0..n)
+            .map(|i| ((i.wrapping_mul(2654435761)) % 1000, i))
+            .collect();
         sort_by_key(&d, &mut pairs);
         for w in pairs.windows(2) {
             assert!(w[0] <= w[1]);

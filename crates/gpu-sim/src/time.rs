@@ -18,7 +18,10 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0.0);
 
     pub fn from_secs(s: f64) -> Self {
-        debug_assert!(s >= 0.0 && s.is_finite(), "durations must be finite and non-negative");
+        debug_assert!(
+            s >= 0.0 && s.is_finite(),
+            "durations must be finite and non-negative"
+        );
         SimDuration(s)
     }
 
@@ -130,8 +133,10 @@ mod tests {
         let u = t + SimDuration::from_secs(3.0);
         assert_eq!((u - t).as_secs(), 3.0);
         assert_eq!(t.max(u), u);
-        let s: SimDuration =
-            [1.0, 2.0, 3.0].iter().map(|&x| SimDuration::from_secs(x)).sum();
+        let s: SimDuration = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&x| SimDuration::from_secs(x))
+            .sum();
         assert_eq!(s.as_secs(), 6.0);
     }
 

@@ -50,7 +50,11 @@ impl TransferModel {
 
     /// Duration of a transfer of `bytes` in either direction.
     pub fn transfer_time(&self, bytes: usize, pinned: bool) -> SimDuration {
-        let gbps = if pinned { self.pinned_gbps } else { self.pageable_gbps };
+        let gbps = if pinned {
+            self.pinned_gbps
+        } else {
+            self.pageable_gbps
+        };
         self.latency + SimDuration::from_secs(bytes as f64 / (gbps * 1e9))
     }
 

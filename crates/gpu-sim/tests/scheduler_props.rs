@@ -37,10 +37,10 @@ proptest! {
         prop_assert_eq!(schedule.ops.len(), total_ops);
 
         // Within a chain, operations run in order.
-        for chain in 0..chains.len() {
+        for (chain, chain_ops) in chains.iter().enumerate() {
             let mut ops: Vec<_> = schedule.ops.iter().filter(|o| o.chain == chain).collect();
             ops.sort_by_key(|o| o.op_index);
-            prop_assert_eq!(ops.len(), chains[chain].len());
+            prop_assert_eq!(ops.len(), chain_ops.len());
             for w in ops.windows(2) {
                 prop_assert!(
                     w[1].start >= w[0].end,

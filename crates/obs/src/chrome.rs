@@ -1,0 +1,203 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the `{"traceEvents": [...]}` object format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>. Two processes map the
+//! pipeline's two clocks onto separate track groups:
+//!
+//! * **pid 0 — "device (sim time)"**: one thread lane per simulated engine
+//!   (tid 0 = H2D, 1 = Compute, 2 = D2H, 3+l = Host lane *l*), timestamps
+//!   in simulated microseconds since schedule start. Engine exclusivity in
+//!   the [`gpu_sim::timeline::Timeline`] guarantees lane events never
+//!   overlap.
+//! * **pid 1 — "host (wall time)"**: one lane per OS thread that recorded
+//!   spans, timestamps in wall microseconds since the recorder's epoch.
+//!
+//! All events are complete (`"ph": "X"`) duration events plus `"M"`
+//! metadata records naming the processes and lanes.
+
+use crate::json::JsonWriter;
+use crate::Recorder;
+use gpu_sim::timeline::Engine;
+
+pub const DEVICE_PID: u64 = 0;
+pub const HOST_PID: u64 = 1;
+
+/// Stable lane (tid) assignment for device engines.
+pub fn engine_tid(engine: Engine) -> u64 {
+    match engine {
+        Engine::H2D => 0,
+        Engine::Compute => 1,
+        Engine::D2H => 2,
+        Engine::Host(l) => 3 + l as u64,
+    }
+}
+
+/// Human-readable lane name for a device engine.
+pub fn engine_lane_name(engine: Engine) -> String {
+    match engine {
+        Engine::H2D => "H2D".to_string(),
+        Engine::Compute => "Compute".to_string(),
+        Engine::D2H => "D2H".to_string(),
+        Engine::Host(l) => format!("Host {l}"),
+    }
+}
+
+fn metadata_event(w: &mut JsonWriter, name: &str, pid: u64, tid: u64, value: &str) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("ph", "M");
+    w.field_uint("pid", pid);
+    w.field_uint("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field_str("name", value);
+    w.end_object();
+    w.end_object();
+}
+
+/// Serialize the recorder's full state as Chrome trace-event JSON.
+pub fn export(rec: &Recorder) -> String {
+    let device_ops = rec.device_ops();
+    let spans = rec.spans();
+    let thread_names = rec.thread_names();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    // Process names.
+    metadata_event(&mut w, "process_name", DEVICE_PID, 0, "device (sim time)");
+    metadata_event(&mut w, "process_name", HOST_PID, 0, "host (wall time)");
+
+    // Device lane names, one per engine actually used, in tid order.
+    let mut lanes: Vec<Engine> = Vec::new();
+    for op in &device_ops {
+        if !lanes.contains(&op.engine) {
+            lanes.push(op.engine);
+        }
+    }
+    lanes.sort_by_key(|e| engine_tid(*e));
+    for engine in &lanes {
+        metadata_event(
+            &mut w,
+            "thread_name",
+            DEVICE_PID,
+            engine_tid(*engine),
+            &engine_lane_name(*engine),
+        );
+    }
+
+    // Host lane names.
+    for (tid, name) in thread_names.iter().enumerate() {
+        metadata_event(&mut w, "thread_name", HOST_PID, tid as u64, name);
+    }
+
+    // Device events.
+    for op in &device_ops {
+        w.begin_object();
+        w.field_str("name", &op.label);
+        w.field_str("cat", "device");
+        w.field_str("ph", "X");
+        w.field_float("ts", op.start_us);
+        w.field_float("dur", op.dur_us);
+        w.field_uint("pid", DEVICE_PID);
+        w.field_uint("tid", engine_tid(op.engine));
+        w.key("args");
+        w.begin_object();
+        w.field_uint("chain", op.chain as u64);
+        w.field_uint("stream", op.stream as u64);
+        w.end_object();
+        w.end_object();
+    }
+
+    // Host span events.
+    for span in &spans {
+        w.begin_object();
+        w.field_str("name", &span.name);
+        w.field_str("cat", span.cat);
+        w.field_str("ph", "X");
+        w.field_float("ts", span.wall_start_us);
+        w.field_float("dur", span.wall_dur_us);
+        w.field_uint("pid", HOST_PID);
+        w.field_uint("tid", span.tid as u64);
+        w.key("args");
+        w.begin_object();
+        if let (Some(ts), Some(td)) = (span.sim_start_us, span.sim_dur_us) {
+            w.field_float("sim_start_us", ts);
+            w.field_float("sim_dur_us", td);
+        }
+        for (k, v) in &span.args {
+            w.field_str(k, v);
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    w.end_array();
+    w.field_str("displayTimeUnit", "ms");
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn lane_assignment_is_stable_and_distinct() {
+        let lanes = [
+            Engine::H2D,
+            Engine::Compute,
+            Engine::D2H,
+            Engine::Host(0),
+            Engine::Host(1),
+        ];
+        let tids: Vec<u64> = lanes.iter().map(|&e| engine_tid(e)).collect();
+        assert_eq!(tids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn export_contains_lanes_events_and_metadata() {
+        let rec = Recorder::new();
+        rec.record_device_op(
+            Engine::H2D,
+            "upload",
+            0,
+            0,
+            SimTime::ZERO,
+            SimDuration::from_secs(0.25),
+        );
+        rec.record_device_op(
+            Engine::Compute,
+            "kernel",
+            0,
+            0,
+            SimTime::from_secs(0.25),
+            SimDuration::from_secs(1.0),
+        );
+        {
+            let mut s = rec.span("build_table", "hybrid");
+            s.arg("batches", 4);
+        }
+        let json = export(&rec);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""device (sim time)""#), "{json}");
+        assert!(json.contains(r#""host (wall time)""#), "{json}");
+        assert!(json.contains(r#""name":"upload""#), "{json}");
+        assert!(json.contains(r#""name":"kernel""#), "{json}");
+        assert!(json.contains(r#""name":"build_table""#), "{json}");
+        assert!(json.contains(r#""batches":"4""#), "{json}");
+        assert!(json.contains(r#""ph":"M""#), "{json}");
+        assert!(json.contains(r#""ph":"X""#), "{json}");
+        assert!(json.contains(r#""displayTimeUnit":"ms""#), "{json}");
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_skeleton() {
+        let rec = Recorder::new();
+        let json = export(&rec);
+        assert!(json.contains(r#""traceEvents":["#), "{json}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace builds without crates.io access, so JSON is written by
+//! hand rather than through serde_json. Only the small surface the
+//! exporters need: string escaping and an object/array writer over a
+//! `String` buffer. Numbers are emitted with enough precision for
+//! microsecond timestamps (`{:.3}`); non-finite floats degrade to `0`.
+
+use std::fmt::Write as _;
+
+/// Escape `s` into a JSON string literal (without surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental writer for one JSON object or array level. Tracks whether a
+/// comma is needed; values are appended through the typed methods.
+pub struct JsonWriter {
+    pub buf: String,
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            needs_comma: Vec::new(),
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push(']');
+    }
+
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push('}');
+    }
+
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        // The value that follows is part of this key-value pair, not a new
+        // element, so suppress the comma the value writer would add.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
+    }
+
+    pub fn uint(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Float with microsecond-grade precision; NaN/inf degrade to 0.
+    pub fn float(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:.3}");
+        } else {
+            self.buf.push('0');
+        }
+    }
+
+    /// Convenience: `"key": "value"` string field.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    pub fn field_uint(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.uint(v);
+    }
+
+    pub fn field_float(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.float(v);
+    }
+
+    pub fn finish(self) -> String {
+        debug_assert!(self.needs_comma.is_empty(), "unbalanced begin/end");
+        self.buf
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn writes_nested_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "x");
+        w.key("items");
+        w.begin_array();
+        w.uint(1);
+        w.uint(2);
+        w.end_array();
+        w.field_float("t", 1.5);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"name":"x","items":[1,2],"t":1.500}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_zero() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(f64::NAN);
+        w.float(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[0,0]");
+    }
+}

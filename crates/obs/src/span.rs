@@ -1,0 +1,189 @@
+//! Hierarchical spans over the host wall clock, with optional simulated
+//! timestamps.
+//!
+//! A [`SpanGuard`] measures from construction to drop. Nesting is tracked
+//! per OS thread: the innermost live span on the current thread becomes the
+//! parent of the next one opened there, so call trees come out of ordinary
+//! lexical scoping with no explicit context passing.
+
+use crate::Recorder;
+use std::cell::RefCell;
+use std::time::Instant;
+
+use gpu_sim::{SimDuration, SimTime};
+
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A finished span, as stored by the [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub cat: &'static str,
+    /// Wall-clock start, microseconds since the recorder's epoch.
+    pub wall_start_us: f64,
+    pub wall_dur_us: f64,
+    /// Simulated-clock start/duration in microseconds, when the span
+    /// corresponds to modeled device time.
+    pub sim_start_us: Option<f64>,
+    pub sim_dur_us: Option<f64>,
+    /// Dense per-recorder index of the OS thread that ran the span.
+    pub tid: usize,
+    /// `key=value` annotations, exported as Chrome trace `args`.
+    pub args: Vec<(String, String)>,
+}
+
+/// RAII guard: the span runs from construction until drop.
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    cat: &'static str,
+    start: Instant,
+    sim: Option<(SimTime, SimDuration)>,
+    args: Vec<(String, String)>,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn open(recorder: &'a Recorder, name: String, cat: &'static str) -> Self {
+        let id = recorder.alloc_span_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        SpanGuard {
+            recorder,
+            id,
+            parent,
+            name,
+            cat,
+            start: Instant::now(),
+            sim: None,
+            args: Vec::new(),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach a `key=value` annotation (shows up under `args` in the
+    /// exported trace).
+    pub fn arg(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.args.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Associate this span with a window on the simulated clock.
+    pub fn set_sim(&mut self, start: SimTime, dur: SimDuration) -> &mut Self {
+        self.sim = Some((start, dur));
+        self
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own id; under panic-unwinds out of nested spans the
+            // stack may already have been popped past us.
+            if let Some(pos) = s.iter().rposition(|&x| x == self.id) {
+                s.truncate(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            wall_start_us: self.recorder.wall_us_at(self.start),
+            wall_dur_us: self.start.elapsed().as_secs_f64() * 1e6,
+            sim_start_us: self.sim.map(|(t, _)| t.as_secs() * 1e6),
+            sim_dur_us: self.sim.map(|(_, d)| d.as_secs() * 1e6),
+            tid: self.recorder.tid_for_current_thread(),
+            args: std::mem::take(&mut self.args),
+        };
+        self.recorder.push_span(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    #[test]
+    fn nesting_assigns_parents() {
+        let rec = Recorder::new();
+        let outer_id;
+        {
+            let outer = rec.span("outer", "test");
+            outer_id = outer.id();
+            {
+                let _inner = rec.span("inner", "test");
+            }
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer_id));
+        assert_eq!(outer.parent, None);
+        // Inner closed first, so it is recorded first and fits inside.
+        assert!(inner.wall_start_us >= outer.wall_start_us);
+        assert!(inner.wall_dur_us <= outer.wall_dur_us);
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let rec = Recorder::new();
+        {
+            let root = rec.span("root", "test");
+            let root_id = root.id();
+            drop(rec.span("a", "test"));
+            drop(rec.span("b", "test"));
+            drop(root);
+            let spans = rec.spans();
+            for name in ["a", "b"] {
+                let s = spans.iter().find(|s| s.name == name).unwrap();
+                assert_eq!(s.parent, Some(root_id));
+            }
+        }
+    }
+
+    #[test]
+    fn args_and_sim_window_are_recorded() {
+        let rec = Recorder::new();
+        {
+            let mut s = rec.span("work", "test");
+            s.arg("n", 42);
+            s.set_sim(
+                gpu_sim::SimTime::from_secs(1.0),
+                gpu_sim::SimDuration::from_secs(0.5),
+            );
+        }
+        let spans = rec.spans();
+        assert_eq!(spans[0].args, vec![("n".to_string(), "42".to_string())]);
+        assert_eq!(spans[0].sim_start_us, Some(1e6));
+        assert_eq!(spans[0].sim_dur_us, Some(0.5e6));
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let rec = Recorder::new();
+        drop(rec.span("main", "test"));
+        std::thread::scope(|scope| {
+            scope.spawn(|| drop(rec.span("worker", "test")));
+        });
+        let spans = rec.spans();
+        let main = spans.iter().find(|s| s.name == "main").unwrap();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_ne!(main.tid, worker.tid);
+    }
+}

@@ -26,12 +26,22 @@ impl Aabb {
     /// either dimension (checked in debug builds).
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
         debug_assert!(min_x <= max_x && min_y <= max_y, "inverted Aabb");
-        Self { min_x, min_y, max_x, max_y }
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// The degenerate box covering a single point.
     pub fn from_point(p: Point2) -> Self {
-        Self { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+        Self {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
     }
 
     /// The tight box around a set of points; [`Aabb::EMPTY`] for no points.
@@ -108,7 +118,10 @@ impl Aabb {
 
     /// Centre of the box.
     pub fn center(&self) -> Point2 {
-        Point2::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+        Point2::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
     }
 }
 
@@ -126,7 +139,11 @@ mod tests {
 
     #[test]
     fn from_points_covers_all() {
-        let pts = [Point2::new(0.0, 5.0), Point2::new(-2.0, 1.0), Point2::new(3.0, -4.0)];
+        let pts = [
+            Point2::new(0.0, 5.0),
+            Point2::new(-2.0, 1.0),
+            Point2::new(3.0, -4.0),
+        ];
         let b = Aabb::from_points(pts.iter());
         for p in &pts {
             assert!(b.contains(*p));

@@ -56,7 +56,6 @@ pub struct GridStats {
     pub avg_points_per_non_empty_cell: f64,
 }
 
-
 /// The geometric parameters of a grid — the "device constants" a GPU
 /// kernel needs to map points to cells and enumerate adjacent cells,
 /// independent of the `G`/`A` arrays. Copyable so it can be captured by
@@ -160,7 +159,10 @@ impl GridIndex {
     /// `eps` must be finite and positive, and `data` non-empty. Construction
     /// is a two-pass counting sort: `O(|D| + |G|)`.
     pub fn build(data: &[Point2], eps: f64) -> Self {
-        assert!(eps.is_finite() && eps > 0.0, "eps must be finite and positive");
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be finite and positive"
+        );
         assert!(!data.is_empty(), "cannot index an empty database");
 
         let bounds = Aabb::from_points(data.iter());
@@ -177,7 +179,13 @@ impl GridIndex {
         );
 
         let mut index = GridIndex {
-            geom: GridGeometry { eps, origin_x: bounds.min_x, origin_y: bounds.min_y, nx, ny },
+            geom: GridGeometry {
+                eps,
+                origin_x: bounds.min_x,
+                origin_y: bounds.min_y,
+                nx,
+                ny,
+            },
             cells: vec![CellRange::EMPTY; nx * ny],
             lookup: vec![0; data.len()],
             non_empty: Vec::new(),
@@ -194,7 +202,10 @@ impl GridIndex {
         let mut offset = 0u32;
         for (h, &c) in counts.iter().enumerate() {
             if c > 0 {
-                index.cells[h] = CellRange { start: offset, end: offset + c };
+                index.cells[h] = CellRange {
+                    start: offset,
+                    end: offset + c,
+                };
                 index.non_empty.push(h as u32);
                 index.max_per_cell = index.max_per_cell.max(c as usize);
             }
@@ -374,7 +385,10 @@ mod tests {
         for (i, p) in data.iter().enumerate() {
             let r = g.cells()[g.cell_of(p)];
             let members = &g.lookup()[r.start as usize..r.end as usize];
-            assert!(members.contains(&(i as u32)), "point {i} missing from its cell");
+            assert!(
+                members.contains(&(i as u32)),
+                "point {i} missing from its cell"
+            );
         }
     }
 
@@ -448,7 +462,10 @@ mod tests {
         let g = GridIndex::build(&data, 0.5);
         let s = g.stats();
         assert_eq!(s.non_empty_cells, g.non_empty_cells().len());
-        assert!(s.max_points_per_cell >= 2, "two points share the (0,0) cell");
+        assert!(
+            s.max_points_per_cell >= 2,
+            "two points share the (0,0) cell"
+        );
         assert!(s.avg_points_per_non_empty_cell >= 1.0);
         assert_eq!(s.total_cells, g.dims().0 * g.dims().1);
     }

@@ -36,10 +36,21 @@ pub struct KdTree {
 impl KdTree {
     /// Build from a point slice; ids are input indices. `O(n log² n)`.
     pub fn build(data: &[Point2]) -> Self {
-        let entries: Vec<(u32, Point2)> =
-            data.iter().copied().enumerate().map(|(i, p)| (i as u32, p)).collect();
-        let root = if entries.is_empty() { None } else { Some(Self::build_rec(entries, 0)) };
-        KdTree { root, size: data.len() }
+        let entries: Vec<(u32, Point2)> = data
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
+        let root = if entries.is_empty() {
+            None
+        } else {
+            Some(Self::build_rec(entries, 0))
+        };
+        KdTree {
+            root,
+            size: data.len(),
+        }
     }
 
     fn build_rec(mut entries: Vec<(u32, Point2)>, depth: usize) -> KdNode {
@@ -100,7 +111,12 @@ impl KdTree {
                         }
                     }
                 }
-                KdNode::Split { axis, value, left, right } => {
+                KdNode::Split {
+                    axis,
+                    value,
+                    left,
+                    right,
+                } => {
                     let coord = if *axis == 0 { q.x } else { q.y };
                     // Closed ball: descend both sides when the splitting
                     // plane is within eps.
@@ -184,6 +200,10 @@ mod tests {
     fn boundary_inclusion() {
         let data = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
         let t = KdTree::build(&data);
-        assert_eq!(t.query_eps_count(&data[0], 1.0), 2, "closed ball includes eps boundary");
+        assert_eq!(
+            t.query_eps_count(&data[0], 1.0),
+            2,
+            "closed ball includes eps boundary"
+        );
     }
 }

@@ -61,13 +61,10 @@ impl Node {
                 *bbox = Aabb::from_points(entries.iter().map(|(_, p)| p));
             }
             Node::Interior { bbox, children } => {
-                *bbox = children
-                    .iter()
-                    .fold(Aabb::EMPTY, |b, c| b.union(&c.bbox()));
+                *bbox = children.iter().fold(Aabb::EMPTY, |b, c| b.union(&c.bbox()));
             }
         }
     }
-
 }
 
 /// An R-tree over 2-D points.
@@ -86,7 +83,10 @@ impl RTree {
     /// An empty tree.
     pub fn new() -> Self {
         RTree {
-            root: Node::Leaf { bbox: Aabb::EMPTY, entries: Vec::new() },
+            root: Node::Leaf {
+                bbox: Aabb::EMPTY,
+                entries: Vec::new(),
+            },
             size: 0,
             height: 1,
             queries: AtomicU64::new(0),
@@ -101,8 +101,12 @@ impl RTree {
         if data.is_empty() {
             return Self::new();
         }
-        let mut entries: Vec<(u32, Point2)> =
-            data.iter().copied().enumerate().map(|(i, p)| (i as u32, p)).collect();
+        let mut entries: Vec<(u32, Point2)> = data
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
 
         // STR: sort by x, carve into vertical slabs of ~sqrt(n/M) leaves,
         // sort each slab by y, pack runs of MAX_ENTRIES into leaves.
@@ -116,7 +120,10 @@ impl RTree {
         for slab in entries.chunks_mut(slab_size.max(1)) {
             slab.sort_by(|a, b| a.1.y.total_cmp(&b.1.y).then(a.1.x.total_cmp(&b.1.x)));
             for run in slab.chunks(MAX_ENTRIES) {
-                let mut leaf = Node::Leaf { bbox: Aabb::EMPTY, entries: run.to_vec() };
+                let mut leaf = Node::Leaf {
+                    bbox: Aabb::EMPTY,
+                    entries: run.to_vec(),
+                };
                 leaf.recompute_bbox();
                 leaves.push(leaf);
             }
@@ -130,7 +137,10 @@ impl RTree {
             let mut level_iter = level.into_iter().peekable();
             while level_iter.peek().is_some() {
                 let children: Vec<Node> = level_iter.by_ref().take(MAX_ENTRIES).collect();
-                let mut parent = Node::Interior { bbox: Aabb::EMPTY, children };
+                let mut parent = Node::Interior {
+                    bbox: Aabb::EMPTY,
+                    children,
+                };
                 parent.recompute_bbox();
                 parents.push(parent);
             }
@@ -184,7 +194,10 @@ impl RTree {
         if let Some((left, right)) = Self::insert_rec(&mut self.root, id, p) {
             // Root split: grow the tree by one level.
             self.root = {
-                let mut new_root = Node::Interior { bbox: Aabb::EMPTY, children: vec![left, right] };
+                let mut new_root = Node::Interior {
+                    bbox: Aabb::EMPTY,
+                    children: vec![left, right],
+                };
                 new_root.recompute_bbox();
                 new_root
             };
@@ -246,8 +259,14 @@ impl RTree {
                 eb.push(e);
             }
         }
-        let mut la = Node::Leaf { bbox: Aabb::EMPTY, entries: ea };
-        let mut lb = Node::Leaf { bbox: Aabb::EMPTY, entries: eb };
+        let mut la = Node::Leaf {
+            bbox: Aabb::EMPTY,
+            entries: ea,
+        };
+        let mut lb = Node::Leaf {
+            bbox: Aabb::EMPTY,
+            entries: eb,
+        };
         la.recompute_bbox();
         lb.recompute_bbox();
         (la, lb)
@@ -266,8 +285,14 @@ impl RTree {
                 cb.push(c);
             }
         }
-        let mut na = Node::Interior { bbox: Aabb::EMPTY, children: ca };
-        let mut nb = Node::Interior { bbox: Aabb::EMPTY, children: cb };
+        let mut na = Node::Interior {
+            bbox: Aabb::EMPTY,
+            children: ca,
+        };
+        let mut nb = Node::Interior {
+            bbox: Aabb::EMPTY,
+            children: cb,
+        };
         na.recompute_bbox();
         nb.recompute_bbox();
         (na, nb)
@@ -532,14 +557,22 @@ mod tests {
         let data = vec![Point2::new(1.0, 1.0); 40];
         let t = RTree::bulk_load(&data);
         let hits = t.query_eps(&Point2::new(1.0, 1.0), 0.0);
-        assert_eq!(hits.len(), 40, "eps=0 closed ball still matches exact duplicates");
+        assert_eq!(
+            hits.len(),
+            40,
+            "eps=0 closed ball still matches exact duplicates"
+        );
     }
 
     #[test]
     fn query_prunes_far_subtrees() {
         // Two distant clumps: querying one must not visit every node.
         let mut data = grid_points(10);
-        data.extend(grid_points(10).iter().map(|p| Point2::new(p.x + 1000.0, p.y)));
+        data.extend(
+            grid_points(10)
+                .iter()
+                .map(|p| Point2::new(p.x + 1000.0, p.y)),
+        );
         let t = RTree::bulk_load(&data);
         t.query_eps(&Point2::new(0.0, 0.0), 1.0);
         let visited = t.stats().nodes_visited;

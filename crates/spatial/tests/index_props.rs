@@ -7,8 +7,11 @@ use spatial::presort::spatial_sort;
 use spatial::{GridIndex, KdTree, Point2, RTree};
 
 fn points_strategy() -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec((-500i32..1500, -500i32..1500), 1..150)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x as f64 / 37.0, y as f64 / 53.0)).collect())
+    prop::collection::vec((-500i32..1500, -500i32..1500), 1..150).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| Point2::new(x as f64 / 37.0, y as f64 / 53.0))
+            .collect()
+    })
 }
 
 proptest! {

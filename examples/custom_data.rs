@@ -45,7 +45,11 @@ fn main() {
         result.gpu.n_batches,
         plan.buffer_items,
         plan.effective_alpha,
-        if plan.variable_buffer { ", variable buffers" } else { ", static buffers" },
+        if plan.variable_buffer {
+            ", variable buffers"
+        } else {
+            ", static buffers"
+        },
     );
     println!("actual result set: {} pairs", result.gpu.result_pairs);
 
@@ -56,10 +60,7 @@ fn main() {
         points.len()
     );
     let sizes = result.clustering.cluster_sizes();
-    println!(
-        "largest clusters: {:?}",
-        &sizes[..sizes.len().min(10)]
-    );
+    println!("largest clusters: {:?}", &sizes[..sizes.len().min(10)]);
     println!(
         "time: GPU phase {:.1} ms + DBSCAN {:.1} ms",
         result.timings.gpu_phase.as_millis(),

@@ -18,7 +18,10 @@ use hybrid_dbscan::gpu_sim::Device;
 use hybrid_dbscan::spatial::presort::spatial_sort;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.003);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.003);
 
     println!("generating SW1 at scale {scale}…");
     let dataset = spec::SW1.generate(scale);
@@ -28,7 +31,9 @@ fn main() {
     // The GPU builds the eps_max neighbor table once.
     let device = Device::k20c();
     let hybrid = HybridDbscan::new(&device, HybridConfig::default());
-    let handle = hybrid.build_table(&dataset.points, eps_max).expect("table build failed");
+    let handle = hybrid
+        .build_table(&dataset.points, eps_max)
+        .expect("table build failed");
     println!(
         "neighbor table at eps_max = {eps_max}: {} entries, GPU phase {:.1} ms",
         handle.table.num_entries(),
@@ -57,8 +62,10 @@ fn main() {
         .collect();
     for level in (1..=8).rev() {
         let threshold = eps_max * level as f64 / 8.0;
-        let row: String =
-            heights.iter().map(|&h| if h >= threshold { '#' } else { ' ' }).collect();
+        let row: String = heights
+            .iter()
+            .map(|&h| if h >= threshold { '#' } else { ' ' })
+            .collect();
         println!("{threshold:>5.2} |{row}");
     }
 
@@ -67,6 +74,11 @@ fn main() {
     println!("\n  eps'   clusters   noise");
     for cut in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let c = ordering.extract_dbscan(cut);
-        println!("  {:>4.2}   {:>8}   {:>5}", cut, c.num_clusters(), c.noise_count());
+        println!(
+            "  {:>4.2}   {:>8}   {:>5}",
+            cut,
+            c.num_clusters(),
+            c.noise_count()
+        );
     }
 }

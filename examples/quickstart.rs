@@ -22,7 +22,10 @@ fn main() {
         for _ in 0..400 {
             let (u, v) = (next(), next());
             let r = (-2.0 * u.max(1e-12).ln()).sqrt();
-            let (dx, dy) = (r * (std::f64::consts::TAU * v).cos(), r * (std::f64::consts::TAU * v).sin());
+            let (dx, dy) = (
+                r * (std::f64::consts::TAU * v).cos(),
+                r * (std::f64::consts::TAU * v).sin(),
+            );
             points.push(Point2::new(cx + dx * 0.8, cy + dy * 0.8));
         }
     }

@@ -17,19 +17,30 @@ use hybrid_dbscan::datasets::spec;
 use hybrid_dbscan::gpu_sim::Device;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
 
     println!("generating SW1 (ionospheric TEC) at scale {scale}…");
     let dataset = spec::SW1.generate(scale);
-    println!("{} points, heavily skewed around receiver sites", dataset.len());
+    println!(
+        "{} points, heavily skewed around receiver sites",
+        dataset.len()
+    );
 
     let device = Device::k20c();
     let pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default());
 
     // The published SW1 sweep: ε ∈ {0.1, 0.2, …, 1.5}, minpts = 4.
     let variants: Vec<Variant> = scenario::s2_variants("SW1");
-    println!("\nclustering {} variants through the pipeline…", variants.len());
-    let report = pipeline.run(&dataset.points, &variants).expect("pipeline failed");
+    println!(
+        "\nclustering {} variants through the pipeline…",
+        variants.len()
+    );
+    let report = pipeline
+        .run(&dataset.points, &variants)
+        .expect("pipeline failed");
 
     println!("\n  eps   clusters   gpu-phase   dbscan");
     for (t, &count) in report.per_variant.iter().zip(&report.cluster_counts) {
@@ -47,5 +58,8 @@ fn main() {
         report.pipelined_total.as_secs(),
         report.pipeline_speedup()
     );
-    println!("wall time (actual concurrent execution): {:.2?}", report.wall_time);
+    println!(
+        "wall time (actual concurrent execution): {:.2?}",
+        report.wall_time
+    );
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass.
+#
+#   scripts/ci.sh            # build + test + fmt (+ clippy, advisory)
+#   CLIPPY_STRICT=1 scripts/ci.sh   # make clippy failures fatal too
+#
+# clippy is advisory by default because lint sets shift across
+# toolchains; build, tests, and formatting are always fatal.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failed=0
+step() {
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    if "$@"; then
+        echo "==> $name: OK"
+    else
+        echo "==> $name: FAILED"
+        failed=1
+    fi
+    echo
+}
+
+step "build" cargo build --workspace --release
+step "test" cargo test --workspace -q
+step "fmt" cargo fmt --all --check
+
+echo "==> clippy: cargo clippy --workspace --all-targets -- -D warnings"
+if cargo clippy --workspace --all-targets -- -D warnings; then
+    echo "==> clippy: OK"
+elif [ "${CLIPPY_STRICT:-0}" = "1" ]; then
+    echo "==> clippy: FAILED (strict)"
+    failed=1
+else
+    echo "==> clippy: FAILED (advisory only; set CLIPPY_STRICT=1 to enforce)"
+fi
+
+exit "$failed"

@@ -1,0 +1,215 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements the slice of the rand 0.9 API the workspace touches —
+//! `StdRng::seed_from_u64`, `Rng::random::<T>()`, `Rng::random_range`,
+//! `random_bool` — over a SplitMix64 core. Deterministic per seed, which
+//! is all the synthetic dataset generators require. **Streams differ from
+//! the real `rand`**, so generated datasets are reproducible against this
+//! shim, not against upstream rand.
+
+use std::ops::Range;
+
+/// Types samplable uniformly over their "natural" domain
+/// (`f64` → `[0, 1)`, integers → full width, `bool` → fair coin).
+pub trait Standard: Sized {
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait RangeSample: Copy {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample_uint {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64
+                // per draw, irrelevant for synthetic data generation.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start + hi as $t
+            }
+        }
+    )*};
+}
+impl_range_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty : $u:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (range.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_sample_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl RangeSample for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty random_range");
+        range.start + f64::sample(rng) * (range.end - range.start)
+    }
+}
+
+/// The slice of `rand::Rng` the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng())
+    }
+
+    fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample_range(self.as_std_rng(), range)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        f64::sample(self.as_std_rng()) < p
+    }
+}
+
+/// Helper so the `Rng` default methods can hand the concrete core to the
+/// sampling traits.
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+/// `rand::SeedableRng`, seed-from-u64 form only.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// SplitMix64: tiny, full-period, passes BigCrush on its own — more
+    /// than adequate for synthetic dataset generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn step(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let k = rng.random_range(0usize..10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

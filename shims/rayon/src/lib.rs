@@ -1,0 +1,111 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace uses rayon for *throughput*, never for semantics: every
+//! `par_iter`/`into_par_iter` site is a pure map/reduce over independent
+//! items (simulated thread blocks, union-find phases, device-side sorts).
+//! This shim keeps the exact call-site API but executes sequentially by
+//! returning the corresponding `std` iterators, which preserves results
+//! bit-for-bit (and even strengthens determinism). Host wall-clock numbers
+//! are slower; all *modeled* device times are unaffected, because those
+//! are computed analytically from cost counters, not measured.
+//!
+//! [`current_num_threads`] truthfully reports `1` so tests that assert on
+//! real block overlap know to skip themselves.
+
+/// Number of worker threads in the (sequential) pool: always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential: any `IntoIterator` already qualifies.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` over a slice — sequential `slice::iter`.
+    pub trait IntoParallelRefIterator {
+        type Item;
+        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    }
+    impl<T> IntoParallelRefIterator for [T] {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+    impl<T> IntoParallelRefIterator for Vec<T> {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `par_iter_mut()` over a slice — sequential `slice::iter_mut`.
+    pub trait IntoParallelRefMutIterator {
+        type Item;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+    }
+    impl<T> IntoParallelRefMutIterator for [T] {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+    impl<T> IntoParallelRefMutIterator for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut_slice().iter_mut()
+        }
+    }
+
+    /// `par_sort_unstable` and friends — sequential `sort_unstable`.
+    pub trait ParallelSliceMut<T> {
+        fn as_seq_mut_slice(&mut self) -> &mut [T];
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_seq_mut_slice().sort_unstable();
+        }
+
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+            self.as_seq_mut_slice().sort_unstable_by(compare);
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.as_seq_mut_slice().sort_unstable_by_key(key);
+        }
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_seq_mut_slice(&mut self) -> &mut [T] {
+            self
+        }
+    }
+    impl<T> ParallelSliceMut<T> for Vec<T> {
+        fn as_seq_mut_slice(&mut self) -> &mut [T] {
+            self.as_mut_slice()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn api_parity_smoke() {
+        let v: Vec<u32> = (0u32..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 100);
+        let s: u32 = v.par_iter().sum();
+        assert_eq!(s, 9900);
+        let mut pairs = vec![(3u32, 1u32), (1, 2), (2, 0)];
+        pairs.par_sort_unstable();
+        assert_eq!(pairs, vec![(1, 2), (2, 0), (3, 1)]);
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}

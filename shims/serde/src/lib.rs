@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (trait + derive macro)
+//! that the workspace decorates its public types with. No serialization
+//! machinery exists — `crates/obs` emits its JSON by hand — so the traits
+//! are empty markers with blanket impls and the derives expand to nothing.
+//! Swapping this shim back for the real serde is a one-line change in the
+//! workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

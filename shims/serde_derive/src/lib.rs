@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! minimal local shims for its external dependencies (`shims/`). Nothing
+//! in the repro actually serializes through serde — the derives are kept
+//! on the public types as documentation of intent (and so the tree drops
+//! back onto the real serde unchanged once a registry is available) — so
+//! the derive macros here simply expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — expands to nothing (no impl is generated).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — expands to nothing (no impl is generated).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

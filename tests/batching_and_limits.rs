@@ -47,7 +47,11 @@ fn batch_sizes_are_consistent() {
     };
     let hybrid = HybridDbscan::new(&device, cfg);
     let handle = hybrid.build_table(&d, 0.4).unwrap();
-    assert!(handle.gpu.n_batches >= 4, "need several batches, got {}", handle.gpu.n_batches);
+    assert!(
+        handle.gpu.n_batches >= 4,
+        "need several batches, got {}",
+        handle.gpu.n_batches
+    );
     // Total pairs spread over n_b batches: every batch must have fit in
     // the buffer, and the average utilization should be substantial.
     let avg = handle.gpu.result_pairs / handle.gpu.n_batches;
@@ -84,7 +88,11 @@ fn impossible_device_reports_out_of_memory() {
         Err(HybridError::Device(DeviceError::OutOfMemory { .. })) => {}
         other => panic!("expected OutOfMemory, got {other:?}"),
     }
-    assert_eq!(device.used_bytes(), 0, "failed runs must not leak device memory");
+    assert_eq!(
+        device.used_bytes(),
+        0,
+        "failed runs must not leak device memory"
+    );
 }
 
 #[test]
@@ -94,7 +102,10 @@ fn shared_kernel_respects_tiny_buffers_via_packing() {
     let mut d = data("SW1", 0.002);
     // Add an extreme clump: 800 coincident-ish points in one cell.
     for i in 0..800 {
-        d.push(Point2::new(5.0 + (i % 10) as f64 * 1e-4, 5.0 + (i / 10) as f64 * 1e-4));
+        d.push(Point2::new(
+            5.0 + (i % 10) as f64 * 1e-4,
+            5.0 + (i / 10) as f64 * 1e-4,
+        ));
     }
     let device = Device::k20c();
     let cfg = HybridConfig {

@@ -43,7 +43,10 @@ fn shared_kernel_hybrid_matches_global_kernel_hybrid() {
     let global = HybridDbscan::new(&device, HybridConfig::default());
     let shared = HybridDbscan::new(
         &device,
-        HybridConfig { kernel: KernelChoice::Shared, ..HybridConfig::default() },
+        HybridConfig {
+            kernel: KernelChoice::Shared,
+            ..HybridConfig::default()
+        },
     );
     let g = global.run(&data, 0.5, 4).unwrap();
     let s = shared.run(&data, 0.5, 4).unwrap();
@@ -73,7 +76,11 @@ fn heavy_batching_does_not_change_results() {
     )
     .run(&data, eps, 4)
     .unwrap();
-    assert!(many.gpu.n_batches >= 10, "got {} batches", many.gpu.n_batches);
+    assert!(
+        many.gpu.n_batches >= 10,
+        "got {} batches",
+        many.gpu.n_batches
+    );
     assert_eq!(baseline.clustering.labels(), many.clustering.labels());
     assert_eq!(baseline.gpu.result_pairs, many.gpu.result_pairs);
 }
@@ -82,8 +89,10 @@ fn heavy_batching_does_not_change_results() {
 fn pipeline_counts_match_individual_runs() {
     let device = Device::k20c();
     let data = small("SW1");
-    let variants: Vec<Variant> =
-        [0.2, 0.4, 0.6, 0.8].iter().map(|&e| Variant::new(e, 4)).collect();
+    let variants: Vec<Variant> = [0.2, 0.4, 0.6, 0.8]
+        .iter()
+        .map(|&e| Variant::new(e, 4))
+        .collect();
     let pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default());
     let report = pipeline.run(&data, &variants).unwrap();
 
@@ -140,7 +149,8 @@ fn persisted_table_clusters_identically() {
     handle.table.save(&mut blob).unwrap();
     let reloaded = NeighborTable::load(&mut blob.as_slice()).unwrap();
 
-    let a = Dbscan::new(4).run_with_order(&TableSource::new(&handle.table), Some(&handle.visit_order));
+    let a =
+        Dbscan::new(4).run_with_order(&TableSource::new(&handle.table), Some(&handle.visit_order));
     let b = Dbscan::new(4).run_with_order(&TableSource::new(&reloaded), Some(&handle.visit_order));
     assert_eq!(a.labels(), b.labels());
 }

@@ -14,8 +14,11 @@ use proptest::prelude::*;
 /// Random points in a bounded box; coordinates quantized a little so exact
 /// eps-boundary ties occur with realistic probability.
 fn points_strategy(max_n: usize) -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec((0i32..2000, 0i32..2000), 1..max_n)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x as f64 / 100.0, y as f64 / 100.0)).collect())
+    prop::collection::vec((0i32..2000, 0i32..2000), 1..max_n).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| Point2::new(x as f64 / 100.0, y as f64 / 100.0))
+            .collect()
+    })
 }
 
 fn eps_strategy() -> impl Strategy<Value = f64> {

@@ -16,3 +16,4 @@ pub mod scenarios;
 pub mod schedule;
 pub mod table1;
 pub mod table2;
+pub mod threads;

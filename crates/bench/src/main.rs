@@ -13,6 +13,7 @@
 //!   figure5   response time vs threads with table reuse, S3
 //!   figure6   reuse speedup over per-variant reference, S3
 //!   schedule  Gantt chart of the overlapped 3-stream batch schedule
+//!   threads   host-pool scaling sweep on S1 (writes BENCH_threads.json)
 //!   ablations bandwidth / stream-count / block-size / index / alpha / split
 //!   all       everything above in paper order
 //! ```
@@ -24,6 +25,7 @@
 use bench::common::Options;
 use bench::{
     ablations, figure2, figure3, figure4, figure5, figure6, scenarios, schedule, table1, table2,
+    threads,
 };
 
 fn run_ablations(opts: &Options) {
@@ -50,7 +52,7 @@ fn main() {
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         println!(
-            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule."
+            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|threads|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule.\n\nthreads sweeps the rayon pool over {{1, 2, 4, all}} on the S1 workload and\nwrites BENCH_threads.json (set the process-wide default pool size with\nRAYON_NUM_THREADS)."
         );
         return;
     }
@@ -76,6 +78,7 @@ fn main() {
         "figure5" => figure5::print(&opts),
         "figure6" => figure6::print(&opts),
         "schedule" => schedule::print(&opts),
+        "threads" => threads::print(&opts),
         "ablations" => run_ablations(&opts),
         "all" => {
             table1::print(&opts);

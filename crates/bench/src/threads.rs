@@ -1,0 +1,259 @@
+//! **Thread scaling** — host-pool speedup on the fixed S1 workload.
+//!
+//! The rayon shim is a real work-stealing pool (see DESIGN.md, "Threading
+//! model & determinism policy"); this experiment sweeps the pool size over
+//! `{1, 2, 4, all}` on the S1 workload (SW1, ε = 0.2 — the Table II row)
+//! and reports wall-clock per stage plus the speedup relative to one
+//! thread. Each sweep point runs under
+//! `ThreadPoolBuilder::num_threads(t).install(..)`, which is exactly what
+//! `RAYON_NUM_THREADS=t` would give the whole process.
+//!
+//! The determinism policy makes a claim this benchmark checks on every
+//! run: modeled `SimDuration`s and clusterings must be **bitwise
+//! identical** at every thread count — only wall-clock columns may move.
+//! Results are written to `BENCH_threads.json` (under `--csv DIR` when
+//! given, else the working directory).
+
+use crate::common::{fmt_secs, DatasetCache, Options, TextTable};
+use crate::table2;
+use gpu_sim::Device;
+use hybrid_dbscan_core::disjoint_set::dbscan_disjoint_set;
+use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
+use obs::json::JsonWriter;
+use std::time::Instant;
+
+/// minpts for the clustering stages (the paper's S2 sweep midpoint).
+const MINPTS: usize = 4;
+
+/// One sweep point: wall-clock means over `trials` runs at `threads`
+/// pool threads, plus the modeled/functional outputs whose bitwise
+/// invariance the determinism policy guarantees.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    pub threads: usize,
+    /// Mean wall-clock seconds of `build_table` (GPU-phase simulation:
+    /// kernels, device sort, table ingest — all on the pool).
+    pub build_table_s: f64,
+    /// Mean wall-clock seconds of the sequential host DBSCAN.
+    pub dbscan_s: f64,
+    /// Mean wall-clock seconds of the parallel disjoint-set DBSCAN.
+    pub disjoint_set_s: f64,
+    /// Modeled GPU-phase time (thread-count-invariant by policy).
+    pub modeled_bits: u64,
+    pub modeled_s: f64,
+    pub clusters: usize,
+    pub result_pairs: usize,
+}
+
+/// Run one sweep point: `trials` full pipelines on a `threads`-sized
+/// pool view over the shared pool.
+fn measure(points: &[spatial::Point2], eps: f64, threads: usize, trials: usize) -> SweepRow {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool view");
+    pool.install(|| {
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let (mut build_s, mut dbscan_s, mut ds_s) = (0.0, 0.0, 0.0);
+        let mut row = None;
+        for _ in 0..trials.max(1) {
+            let t0 = Instant::now();
+            let handle = hybrid.build_table(points, eps).expect("build_table");
+            build_s += t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let (clustering, _) = HybridDbscan::cluster_with_table(&handle, MINPTS);
+            dbscan_s += t1.elapsed().as_secs_f64();
+
+            let t2 = Instant::now();
+            let ds = dbscan_disjoint_set(&handle.table, MINPTS);
+            ds_s += t2.elapsed().as_secs_f64();
+            assert_eq!(
+                clustering.num_clusters(),
+                ds.num_clusters(),
+                "sequential and disjoint-set DBSCAN disagree"
+            );
+
+            row = Some(SweepRow {
+                threads,
+                build_table_s: 0.0,
+                dbscan_s: 0.0,
+                disjoint_set_s: 0.0,
+                modeled_bits: handle.gpu.modeled_time.as_secs().to_bits(),
+                modeled_s: handle.gpu.modeled_time.as_secs(),
+                clusters: clustering.num_clusters() as usize,
+                result_pairs: handle.gpu.result_pairs,
+            });
+        }
+        let n = trials.max(1) as f64;
+        let mut row = row.expect("at least one trial");
+        row.build_table_s = build_s / n;
+        row.dbscan_s = dbscan_s / n;
+        row.disjoint_set_s = ds_s / n;
+        row
+    })
+}
+
+/// The sweep's thread counts: `{1, 2, 4, all}` where `all` is the
+/// current configured width (`RAYON_NUM_THREADS` or the core count),
+/// sorted and deduplicated.
+pub fn thread_counts() -> Vec<usize> {
+    let mut ts = vec![1, 2, 4, rayon::current_num_threads()];
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+/// Run the full sweep on the S1 workload (SW1, ε from Table II).
+pub fn run(opts: &Options) -> (String, f64, usize, Vec<SweepRow>) {
+    let (name, eps, ..) = table2::PAPER[0]; // SW1, ε = 0.2 — scenario S1
+    let mut cache = DatasetCache::new(opts.scale);
+    let points = cache.get(name).points.clone();
+    let rows = thread_counts()
+        .into_iter()
+        .map(|t| measure(&points, eps, t, opts.trials))
+        .collect();
+    (name.to_string(), eps, points.len(), rows)
+}
+
+/// True iff every modeled/functional output matches the 1-thread row.
+pub fn bitwise_identical(rows: &[SweepRow]) -> bool {
+    rows.windows(2).all(|w| {
+        w[0].modeled_bits == w[1].modeled_bits
+            && w[0].clusters == w[1].clusters
+            && w[0].result_pairs == w[1].result_pairs
+    })
+}
+
+fn render_json(
+    dataset: &str,
+    eps: f64,
+    n_points: usize,
+    opts: &Options,
+    rows: &[SweepRow],
+) -> String {
+    let base = &rows[0];
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("workload");
+    w.begin_object();
+    w.field_str("dataset", dataset);
+    w.field_float("eps", eps);
+    w.field_float("scale", opts.scale);
+    w.field_uint("points", n_points as u64);
+    w.field_uint("minpts", MINPTS as u64);
+    w.field_uint("trials", opts.trials.max(1) as u64);
+    w.end_object();
+    w.field_uint("host_threads", rayon::current_num_threads() as u64);
+    w.key("bitwise_identical");
+    w.buf.push_str(if bitwise_identical(rows) {
+        "true"
+    } else {
+        "false"
+    });
+    w.key("sweep");
+    w.begin_array();
+    for r in rows {
+        w.begin_object();
+        w.field_uint("threads", r.threads as u64);
+        w.field_float("build_table_ms", r.build_table_s * 1e3);
+        w.field_float("dbscan_ms", r.dbscan_s * 1e3);
+        w.field_float("disjoint_set_ms", r.disjoint_set_s * 1e3);
+        w.field_float(
+            "speedup_build_table",
+            base.build_table_s / r.build_table_s.max(1e-12),
+        );
+        w.field_float(
+            "speedup_disjoint_set",
+            base.disjoint_set_s / r.disjoint_set_s.max(1e-12),
+        );
+        w.field_float("modeled_time_ms", r.modeled_s * 1e3);
+        w.field_uint("modeled_time_bits", r.modeled_bits);
+        w.field_uint("clusters", r.clusters as u64);
+        w.field_uint("result_pairs", r.result_pairs as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Run the sweep, print the scaling table, and write `BENCH_threads.json`.
+pub fn print(opts: &Options) {
+    println!("== Thread scaling (S1): rayon pool sweep over {{1, 2, 4, all}} ==");
+    println!("Wall-clock per stage; modeled times and clusterings must be");
+    println!("bitwise identical at every thread count (determinism policy).\n");
+
+    let (dataset, eps, n_points, rows) = run(opts);
+    let base = &rows[0];
+    let mut t = TextTable::new(&[
+        "Threads",
+        "build_table",
+        "speedup",
+        "DBSCAN",
+        "disjoint-set",
+        "speedup",
+        "modeled GPU",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.threads.to_string(),
+            fmt_secs(r.build_table_s),
+            format!("{:.2}x", base.build_table_s / r.build_table_s.max(1e-12)),
+            fmt_secs(r.dbscan_s),
+            fmt_secs(r.disjoint_set_s),
+            format!("{:.2}x", base.disjoint_set_s / r.disjoint_set_s.max(1e-12)),
+            fmt_secs(r.modeled_s),
+        ]);
+    }
+    t.print();
+    let identical = bitwise_identical(&rows);
+    println!(
+        "\n# modeled time / clusters / |R| bitwise identical across thread counts: {}",
+        if identical {
+            "yes"
+        } else {
+            "NO — DETERMINISM VIOLATION"
+        }
+    );
+
+    let json = render_json(&dataset, eps, n_points, opts, &rows);
+    let path = opts
+        .csv_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+        .join("BENCH_threads.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("# threads: wrote {}", path.display()),
+        Err(e) => eprintln!("# threads: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_counts_are_sorted_unique_and_include_one() {
+        let ts = thread_counts();
+        assert!(ts.contains(&1));
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_is_bitwise_invariant_on_a_small_workload() {
+        let opts = Options {
+            scale: 0.002,
+            trials: 1,
+            ..Options::default()
+        };
+        let (_, _, n, rows) = run(&opts);
+        assert!(n > 0);
+        assert_eq!(rows.len(), thread_counts().len());
+        assert!(bitwise_identical(&rows), "rows: {rows:?}");
+    }
+}

@@ -14,6 +14,17 @@
 //! With the neighbor table already materialized by the GPU, this turns
 //! the last sequential stage of Hybrid-DBSCAN into a data-parallel pass —
 //! the natural "future work" composition of the two papers.
+//!
+//! ## Determinism
+//!
+//! All three phases run on the rayon pool, yet the output is a pure
+//! function of `(table, minpts)` at every thread count: union with
+//! smaller-root-wins converges each component to its minimum member
+//! regardless of CAS interleaving; border points attach to the *minimum*
+//! adjacent root (not the first found); and the final labels number
+//! clusters by sorted root id. This is relied on by the thread-count
+//! equivalence suite (see DESIGN.md, "Threading model & determinism
+//! policy").
 
 use crate::dbscan::{Clustering, PointLabel};
 use crate::table::NeighborTable;
@@ -184,11 +195,12 @@ mod tests {
     fn union_find_concurrent_chain() {
         let n = 10_000;
         let uf = ConcurrentUnionFind::new(n);
-        // Union a chain from many threads: everything must end connected.
-        std::thread::scope(|s| {
+        // Union a chain from many pool tasks: everything must end
+        // connected.
+        rayon::scope(|s| {
             for t in 0..4 {
                 let uf = &uf;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     for i in (t..n - 1).step_by(4) {
                         uf.union(i as u32, (i + 1) as u32);
                     }

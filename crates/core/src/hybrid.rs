@@ -22,8 +22,13 @@
 //! pairs, the sort really sorts, the builder really assembles `T`); the
 //! *device timing* is modeled, and the per-batch operation chains are
 //! replayed through the stream scheduler to produce the overlapped
-//! GPU-phase makespan — deterministic regardless of host load. Host-side
-//! durations (table ingestion, DBSCAN) are wall-clock measurements.
+//! GPU-phase makespan — deterministic regardless of host load. Every op
+//! in those chains is modeled, including the host-lane table ingest (a
+//! bandwidth model over the staged pair count): wall-measured time must
+//! never enter the schedule, or `modeled_time` would vary run to run and
+//! with the rayon pool's thread count (see DESIGN.md, "Threading model &
+//! determinism policy"). Only the host DBSCAN stage and the explicitly
+//! named `wall_time` fields are wall-clock measurements.
 
 use crate::batch::{BatchConfig, BatchPlan};
 use crate::dbscan::{Clustering, Dbscan, TableSource};
@@ -80,6 +85,24 @@ impl Default for HybridConfig {
             max_retries: 4,
         }
     }
+}
+
+/// Sustained host-lane ingest throughput, pairs per second: one pass of
+/// run detection over the sorted keys plus a memcpy-class copy of the
+/// 8-byte pairs into the builder's per-batch segment.
+const INGEST_PAIRS_PER_SEC: f64 = 400.0e6;
+/// Fixed per-batch ingest overhead (builder bookkeeping, segment setup).
+const INGEST_OVERHEAD_US: f64 = 5.0;
+
+/// Modeled duration of ingesting `n` staged pairs into the table builder.
+///
+/// A pure function of the pair count — the determinism policy (DESIGN.md)
+/// forbids wall-measured durations in the scheduled op chains, since the
+/// schedule's makespan feeds [`GpuPhaseReport::modeled_time`], which must
+/// be bitwise identical across runs and thread counts.
+fn ingest_time_model(n: usize) -> SimDuration {
+    SimDuration::from_micros(INGEST_OVERHEAD_US)
+        + SimDuration::from_secs(n as f64 / INGEST_PAIRS_PER_SEC)
 }
 
 /// Timing and profiling of the GPU phase (neighbor-table construction).
@@ -703,7 +726,12 @@ impl HybridDbscan {
             }
 
             // Device-side sort by key (Thrust), so identical keys are
-            // adjacent before the transfer.
+            // adjacent before the transfer. INVARIANT (threading policy,
+            // DESIGN.md): this total-order sort is the canonicalization
+            // of the append buffer — block append order varies with host
+            // scheduling, and every downstream consumer (staging copy,
+            // table ingest) sees only the sorted, schedule-independent
+            // sequence.
             let sort_time = thrust::sort_by_key(&self.device, buf.as_filled_mut_slice());
 
             // D2H into the pinned staging area. The staging buffer is
@@ -714,10 +742,11 @@ impl HybridDbscan {
             let stage = &mut pinned[l % n_buffers];
             let staged_len = stage.write_from(&pairs);
 
-            // Host: copy the values out of staging into T (measured).
-            let t0 = Instant::now();
+            // Host: copy the values out of staging into T. The chain
+            // op's duration is modeled from the staged pair count, never
+            // measured — the schedule makespan feeds `modeled_time`.
             builder.ingest_batch(l, &stage.as_slice()[..staged_len]);
-            let ingest_time: SimDuration = t0.elapsed().into();
+            let ingest_time = ingest_time_model(staged_len);
 
             chains.push(vec![
                 OpSpec::new(Engine::Compute, report.duration, "kernel"),

@@ -13,9 +13,10 @@
 //! `Σ (g_i + d_i)` and the pipelined makespan of the two-stage schedule
 //! (Figure 4 / Table IV compare exactly these). Setting
 //! [`PipelineConfig::concurrent`] instead really executes the producer
-//! and the consumers on separate host threads (crossbeam channel between
-//! them) — functionally identical, but stage timings then depend on the
-//! benchmark host's core count.
+//! (on the calling thread) and the consumers (on the shared rayon pool,
+//! crossbeam channel between them) — functionally identical, but stage
+//! timings then depend on the benchmark host's core count. On a
+//! single-thread pool concurrent mode degrades to the serial pass.
 
 use crate::dbscan::Clustering;
 use crate::hybrid::{HybridConfig, HybridDbscan, HybridError};
@@ -241,12 +242,30 @@ impl MultiClusterPipeline {
         }
     }
 
-    /// Concurrent execution: producer thread + `consumers` DBSCAN threads.
+    /// Concurrent execution: the producer runs on the calling thread and
+    /// `consumers` DBSCAN consumers run on the shared rayon pool.
+    ///
+    /// The consumers block on the channel while the producer works, so
+    /// real overlap needs at least two threads. On a 1-thread pool there
+    /// is no thread to host a consumer while the caller produces —
+    /// running "concurrently" would deadlock on the bounded channel — so
+    /// this degrades to the (functionally identical) serial pass, with
+    /// zero queue-wait telemetry recorded for shape parity.
     fn run_concurrent(
         &self,
         data: &[Point2],
         variants: &[Variant],
     ) -> Result<PipelineReport, HybridError> {
+        if rayon::current_num_threads() < 2 {
+            let report = self.run_serial(data, variants)?;
+            if let Some(rec) = &self.recorder {
+                for _ in variants {
+                    rec.metrics().observe("pipeline.queue_wait_ms", 0.0);
+                }
+                rec.metrics().gauge_set("pipeline.queue_depth", 0.0);
+            }
+            return Ok(report);
+        }
         let hybrid = self.make_hybrid();
         let rec = self.recorder.as_deref();
         let n = variants.len();
@@ -262,37 +281,14 @@ impl MultiClusterPipeline {
                 self.config.consumers.max(1),
             );
 
-        std::thread::scope(|s| {
-            // Producer: builds tables in variant order. The bounded channel
-            // provides backpressure so at most `consumers` tables are alive.
-            let producer_error = &error;
-            s.spawn(move || {
-                for (i, v) in variants.iter().enumerate() {
-                    let produce_span = rec.map(|r| {
-                        let mut span = r.span(format!("produce[{i}]"), "pipeline");
-                        span.arg("eps", v.eps);
-                        span
-                    });
-                    match hybrid.build_table(data, v.eps) {
-                        Ok(handle) => {
-                            drop(produce_span);
-                            if tx.send((i, *v, handle, Instant::now())).is_err() {
-                                return;
-                            }
-                        }
-                        Err(e) => {
-                            *producer_error.lock() = Some(e);
-                            return;
-                        }
-                    }
-                }
-            });
-
-            // Consumers: run DBSCAN over each received table.
+        rayon::scope(|s| {
+            // Consumers: run DBSCAN over each received table. Spawned
+            // first so pool workers pick them up while the producer
+            // (below, on the calling thread) builds the first table.
             for _ in 0..self.config.consumers.max(1) {
                 let rx = rx.clone();
                 let results = &results;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     while let Ok((i, v, handle, sent_at)) = rx.recv() {
                         if let Some(r) = rec {
                             r.metrics().observe(
@@ -320,6 +316,31 @@ impl MultiClusterPipeline {
                 });
             }
             drop(rx);
+
+            // Producer: builds tables in variant order on this thread
+            // (table construction is serialized on the GPU anyway). The
+            // bounded channel provides backpressure so at most
+            // `consumers` tables are alive.
+            for (i, v) in variants.iter().enumerate() {
+                let produce_span = rec.map(|r| {
+                    let mut span = r.span(format!("produce[{i}]"), "pipeline");
+                    span.arg("eps", v.eps);
+                    span
+                });
+                match hybrid.build_table(data, v.eps) {
+                    Ok(handle) => {
+                        drop(produce_span);
+                        if tx.send((i, *v, handle, Instant::now())).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        *error.lock() = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(tx);
         });
 
         if let Some(e) = error.into_inner() {

@@ -24,9 +24,8 @@ use crate::hybrid::{HybridConfig, HybridDbscan, HybridError, TableHandle};
 use gpu_sim::device::Device;
 use gpu_sim::time::SimDuration;
 use obs::Recorder;
-use parking_lot::Mutex;
+use rayon::prelude::*;
 use spatial::Point2;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -176,32 +175,30 @@ impl TableReuse {
         }
     }
 
-    /// Functional validation path: actually run the variants on `threads`
-    /// OS threads pulling from a shared work queue. Returns cluster counts
-    /// in `minpts` order (timings from a contended run are not meaningful
-    /// on arbitrary hosts and are not reported).
+    /// Functional validation path: actually run the variants on a
+    /// `threads`-sized view of the shared rayon pool, one DBSCAN per
+    /// `minpts`. Returns cluster counts in `minpts` order (timings from a
+    /// contended run are not meaningful on arbitrary hosts and are not
+    /// reported).
     pub fn run_concurrent(
         handle: &TableHandle,
         minpts_values: &[usize],
         threads: usize,
     ) -> Vec<u32> {
-        let n = minpts_values.len();
-        let counts: Mutex<Vec<u32>> = Mutex::new(vec![0; n]);
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..threads.clamp(1, n.max(1)) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let clustering =
-                        Dbscan::new(minpts_values[i]).run(&TableSource::new(&handle.table));
-                    counts.lock()[i] = clustering.num_clusters();
-                });
-            }
-        });
-        counts.into_inner()
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("pool view");
+        pool.install(|| {
+            minpts_values
+                .par_iter()
+                .map(|&m| {
+                    Dbscan::new(m)
+                        .run(&TableSource::new(&handle.table))
+                        .num_clusters()
+                })
+                .collect()
+        })
     }
 }
 

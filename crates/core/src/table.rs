@@ -16,7 +16,16 @@
 //! segment ownership is required.
 
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Below these sizes the parallel paths in [`NeighborTableBuilder`] fall
+/// back to the serial scan — the outputs are identical either way (the
+/// parallel code is a pure reindexing of the same computation); the gates
+/// only avoid pool overhead on small inputs.
+const PAR_INGEST_MIN_PAIRS: usize = 1 << 15;
+const PAR_REBASE_MIN_POINTS: usize = 1 << 14;
+const PAR_CONCAT_MIN_VALUES: usize = 1 << 16;
 
 /// Per-point neighbor range into the value array `B`. Stored half-open
 /// (`start..end`); the paper's inclusive `T_max` is `end - 1`.
@@ -209,24 +218,15 @@ impl NeighborTableBuilder {
         }
 
         // Copy values and compute per-key local ranges outside the lock.
-        let mut segment = Vec::with_capacity(pairs.len());
-        let mut local: Vec<(u32, TableRange)> = Vec::new();
-        let mut i = 0;
-        while i < pairs.len() {
-            let key = pairs[i].0;
-            let start = i;
-            while i < pairs.len() && pairs[i].0 == key {
-                segment.push(pairs[i].1);
-                i += 1;
-            }
-            local.push((
-                key,
-                TableRange {
-                    start: start as u64,
-                    end: i as u64,
-                },
-            ));
-        }
+        // Large batches scan on the pool; the parallel scan computes the
+        // exact same (segment, local) as the serial one — run boundaries
+        // depend only on adjacent-pair equality, which is chunk-local.
+        let (segment, local) =
+            if pairs.len() >= PAR_INGEST_MIN_PAIRS && rayon::current_num_threads() > 1 {
+                Self::scan_runs_parallel(pairs)
+            } else {
+                Self::scan_runs_serial(pairs)
+            };
 
         let mut state = self.state.lock();
         for (key, range) in local {
@@ -250,6 +250,72 @@ impl NeighborTableBuilder {
         state.segments[batch_idx] = segment;
     }
 
+    /// Serial run scan: values in order plus one `(key, local range)` per
+    /// contiguous key run.
+    fn scan_runs_serial(pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<(u32, TableRange)>) {
+        let mut segment = Vec::with_capacity(pairs.len());
+        let mut local: Vec<(u32, TableRange)> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let key = pairs[i].0;
+            let start = i;
+            while i < pairs.len() && pairs[i].0 == key {
+                segment.push(pairs[i].1);
+                i += 1;
+            }
+            local.push((
+                key,
+                TableRange {
+                    start: start as u64,
+                    end: i as u64,
+                },
+            ));
+        }
+        (segment, local)
+    }
+
+    /// Parallel run scan with identical output to
+    /// [`Self::scan_runs_serial`]: run *starts* (`i == 0` or a key change
+    /// at `i`) are detected per chunk — the predicate only reads
+    /// `pairs[i-1]`/`pairs[i]`, so chunk boundaries cannot change it —
+    /// then flattened in chunk order, which is index order.
+    fn scan_runs_parallel(pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<(u32, TableRange)>) {
+        const CHUNK: usize = 32 * 1024;
+        let n = pairs.len();
+        let per_chunk: Vec<Vec<usize>> = (0..n.div_ceil(CHUNK))
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * CHUNK;
+                let hi = (lo + CHUNK).min(n);
+                let mut starts = Vec::new();
+                for i in lo..hi {
+                    if i == 0 || pairs[i].0 != pairs[i - 1].0 {
+                        starts.push(i);
+                    }
+                }
+                starts
+            })
+            .collect();
+        let starts: Vec<usize> = per_chunk.into_iter().flatten().collect();
+
+        let local: Vec<(u32, TableRange)> = (0..starts.len())
+            .into_par_iter()
+            .map(|r| {
+                let start = starts[r];
+                let end = starts.get(r + 1).copied().unwrap_or(n);
+                (
+                    pairs[start].0,
+                    TableRange {
+                        start: start as u64,
+                        end: end as u64,
+                    },
+                )
+            })
+            .collect();
+        let segment: Vec<u32> = pairs.par_iter().map(|p| p.1).collect();
+        (segment, local)
+    }
+
     /// Concatenate the batch segments into `B` and rebase ranges.
     pub fn finalize(self) -> NeighborTable {
         let state = self.state.into_inner();
@@ -267,19 +333,46 @@ impl NeighborTableBuilder {
             total += seg.len() as u64;
         }
 
-        for (i, range) in ranges.iter_mut().enumerate() {
+        // Rebase each point's local range by its batch offset. The shift
+        // per point is a pure function of (owner, offsets) — parallel and
+        // serial paths write identical tables.
+        let rebase = |(i, range): (usize, &mut TableRange)| {
             if owner[i] != u32::MAX {
                 let off = offsets[owner[i] as usize];
                 range.start += off;
                 range.end += off;
             }
             // Unowned points keep the default empty 0..0 range.
+        };
+        if ranges.len() >= PAR_REBASE_MIN_POINTS && rayon::current_num_threads() > 1 {
+            ranges.par_iter_mut().enumerate().for_each(rebase);
+        } else {
+            ranges.iter_mut().enumerate().for_each(rebase);
         }
 
-        let mut values = Vec::with_capacity(total as usize);
-        for seg in segments {
-            values.extend_from_slice(&seg);
-        }
+        // Concatenate segments into B; segment destinations are disjoint,
+        // so large tables copy on the pool.
+        let values = if total as usize >= PAR_CONCAT_MIN_VALUES && rayon::current_num_threads() > 1
+        {
+            let mut values = vec![0u32; total as usize];
+            let mut pieces: Vec<(&mut [u32], &[u32])> = Vec::with_capacity(segments.len());
+            let mut rest: &mut [u32] = &mut values;
+            for seg in &segments {
+                let (head, tail) = rest.split_at_mut(seg.len());
+                pieces.push((head, seg.as_slice()));
+                rest = tail;
+            }
+            pieces
+                .par_iter_mut()
+                .for_each(|(dst, src)| dst.copy_from_slice(src));
+            values
+        } else {
+            let mut values = Vec::with_capacity(total as usize);
+            for seg in &segments {
+                values.extend_from_slice(seg);
+            }
+            values
+        };
 
         NeighborTable {
             eps: self.eps,
@@ -357,10 +450,10 @@ mod tests {
         let n_points = 3000;
         let n_batches = 3;
         let builder = NeighborTableBuilder::new(1.0, n_points, n_batches);
-        std::thread::scope(|s| {
+        rayon::scope(|s| {
             for b in 0..n_batches {
                 let builder = &builder;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     let pairs: Vec<(u32, u32)> = (0..n_points as u32)
                         .filter(|i| (*i as usize) % n_batches == b)
                         .flat_map(|i| [(i, i), (i, (i + 1) % n_points as u32)])

@@ -1,0 +1,96 @@
+//! Thread-count equivalence (the determinism policy's acceptance test).
+//!
+//! For random point sets, `HybridDbscan::build_table` +
+//! `cluster_with_table` + `dbscan_disjoint_set` must produce **bitwise
+//! identical** results on pools of 1, 2, and 8 threads: same neighbor
+//! table, same clusterings, same modeled `SimDuration`s (compared via
+//! `f64::to_bits`), same batch structure. Wall-clock fields are the only
+//! thing allowed to differ.
+//!
+//! Pool views are created with `ThreadPoolBuilder::num_threads(t)`, which
+//! grows the shared pool as needed — so the 8-thread case is exercised
+//! even in the `RAYON_NUM_THREADS=1` CI run.
+
+use gpu_sim::device::Device;
+use hybrid_dbscan_core::disjoint_set::dbscan_disjoint_set;
+use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
+use proptest::prelude::*;
+use spatial::Point2;
+
+/// Everything a run produces that must be schedule-independent.
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    table_points: usize,
+    table_entries: usize,
+    /// Flattened (id, neighbors) pairs — the full table contents.
+    neighborhoods: Vec<(u32, Vec<u32>)>,
+    /// Sequential (visit-order) clustering labels.
+    labels: Vec<i64>,
+    /// Parallel disjoint-set clustering labels.
+    ds_labels: Vec<i64>,
+    /// Modeled GPU-phase time, bit-exact.
+    modeled_time_bits: u64,
+    result_pairs: usize,
+    n_batches: usize,
+    per_batch_pairs: Vec<usize>,
+}
+
+fn run_at(threads: usize, data: &[Point2], eps: f64, minpts: usize) -> RunFingerprint {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool view");
+    pool.install(|| {
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let handle = hybrid.build_table(data, eps).expect("build_table");
+        let (clustering, _dbscan_time) = HybridDbscan::cluster_with_table(&handle, minpts);
+        let ds = dbscan_disjoint_set(&handle.table, minpts);
+        let to_i64 = |c: &hybrid_dbscan_core::dbscan::Clustering| {
+            c.labels()
+                .iter()
+                .map(|l| l.cluster_id().map_or(-1, |id| id as i64))
+                .collect::<Vec<i64>>()
+        };
+        RunFingerprint {
+            table_points: handle.table.num_points(),
+            table_entries: handle.table.num_entries(),
+            neighborhoods: (0..handle.table.num_points() as u32)
+                .map(|i| (i, handle.table.neighbors(i).to_vec()))
+                .collect(),
+            labels: to_i64(&clustering),
+            ds_labels: to_i64(&ds),
+            modeled_time_bits: handle.gpu.modeled_time.as_secs().to_bits(),
+            result_pairs: handle.gpu.result_pairs,
+            n_batches: handle.gpu.n_batches,
+            per_batch_pairs: handle.gpu.per_batch_pairs.clone(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn identical_results_at_1_2_and_8_threads(
+        raw in prop::collection::vec((0.0f64..8.0, 0.0f64..8.0), 60..220),
+        eps_scaled in 30u32..120,
+        minpts in 2usize..6,
+    ) {
+        let data: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let eps = eps_scaled as f64 / 100.0;
+
+        let base = run_at(1, &data, eps, minpts);
+        for threads in [2usize, 8] {
+            let other = run_at(threads, &data, eps, minpts);
+            prop_assert_eq!(
+                &base, &other,
+                "thread-count dependence at {} threads (eps={}, minpts={})",
+                threads, eps, minpts
+            );
+        }
+        // Sanity: the fingerprint is not vacuous.
+        prop_assert_eq!(base.table_points, data.len());
+        prop_assert_eq!(base.labels.len(), data.len());
+    }
+}

@@ -115,6 +115,15 @@ impl<T: Copy> Drop for DeviceBuffer<T> {
 /// corrupt memory; the simulator surfaces the overflow instead). The
 /// batching scheme's α-overestimation exists precisely to keep
 /// [`DeviceAppendBuffer::overflowed`] false.
+///
+/// **Element order is schedule-dependent** — with blocks running in
+/// parallel on the host pool, the slot an append claims varies run to
+/// run. The workspace's determinism policy (DESIGN.md, "Threading model &
+/// determinism policy") therefore requires every consumer of a drained
+/// append buffer to canonicalize before use: sort by a total order (the
+/// hybrid pipeline's `thrust::sort_by_key`) or reduce with an
+/// order-insensitive fold. Never iterate a drained buffer assuming a
+/// stable order.
 pub struct DeviceAppendBuffer<T: Copy + Send> {
     device: Device,
     slots: Box<[UnsafeCell<T>]>,

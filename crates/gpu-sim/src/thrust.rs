@@ -28,9 +28,13 @@ pub fn sort_by_key_time(n: usize) -> SimDuration {
 /// device duration.
 ///
 /// Ordering is total (`(key, value)` lexicographic) so results are
-/// deterministic; Thrust's radix `sort_by_key` is likewise stable for our
-/// purposes since the neighbor-table construction only requires identical
-/// keys to be adjacent.
+/// deterministic even though append order into the source
+/// `DeviceAppendBuffer` varies with host thread interleaving — this is
+/// the canonicalization step the threading determinism policy (DESIGN.md)
+/// requires of every append-buffer consumer. The functional sort is the
+/// shim's parallel merge sort, itself bitwise-identical at every thread
+/// count; Thrust's radix `sort_by_key` likewise suffices since
+/// neighbor-table construction only requires identical keys adjacent.
 pub fn sort_by_key(device: &Device, pairs: &mut [(u32, u32)]) -> SimDuration {
     // Hold the compute engine like any other kernel work.
     let _guard = device.inner.compute_lock.lock();

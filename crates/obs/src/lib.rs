@@ -129,9 +129,21 @@ impl Recorder {
         }
     }
 
-    /// Snapshot of all finished spans.
+    /// Snapshot of all finished spans, in a **stable order**: sorted by
+    /// wall start time, ties broken by span id (allocation order).
+    ///
+    /// Spans recorded from rayon pool workers land in the internal vec in
+    /// whatever order their guards drop, which varies run to run; sorting
+    /// on export makes `--trace` output reproducible across runs with
+    /// identical timings and well-ordered always.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.lock().unwrap().spans.clone()
+        let mut spans = self.inner.lock().unwrap().spans.clone();
+        spans.sort_by(|a, b| {
+            a.wall_start_us
+                .total_cmp(&b.wall_start_us)
+                .then(a.id.cmp(&b.id))
+        });
+        spans
     }
 
     /// Snapshot of all recorded device operations.

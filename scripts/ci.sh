@@ -25,7 +25,11 @@ step() {
 }
 
 step "build" cargo build --workspace --release
-step "test" cargo test --workspace -q
+# The test suite runs twice: serial (the rayon pool degraded to one
+# thread) and at 4 threads. The determinism policy (DESIGN.md) promises
+# identical results either way; both configurations must stay green.
+step "test (RAYON_NUM_THREADS=1)" env RAYON_NUM_THREADS=1 cargo test --workspace -q
+step "test (RAYON_NUM_THREADS=4)" env RAYON_NUM_THREADS=4 cargo test --workspace -q
 step "fmt" cargo fmt --all --check
 
 echo "==> clippy: cargo clippy --workspace --all-targets -- -D warnings"

@@ -1,111 +1,238 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — a real work-stealing thread pool.
 //!
-//! The workspace uses rayon for *throughput*, never for semantics: every
-//! `par_iter`/`into_par_iter` site is a pure map/reduce over independent
-//! items (simulated thread blocks, union-find phases, device-side sorts).
-//! This shim keeps the exact call-site API but executes sequentially by
-//! returning the corresponding `std` iterators, which preserves results
-//! bit-for-bit (and even strengthens determinism). Host wall-clock numbers
-//! are slower; all *modeled* device times are unaffected, because those
-//! are computed analytically from cost counters, not measured.
+//! Since PR 2 this shim executes in parallel: a global pool of
+//! `std::thread` workers ([`pool`]) pulls chunked work regions from a
+//! shared queue, claiming chunks with an atomic cursor (fine-grained
+//! stealing without per-worker deques). The pool is sized by
+//! `RAYON_NUM_THREADS` (0/unset → all cores). The call-site API is
+//! unchanged from the sequential shim: `par_iter`, `into_par_iter`,
+//! `par_iter_mut`, `par_sort_unstable*`, [`join`], [`scope`],
+//! [`current_num_threads`], plus [`ThreadPoolBuilder`]/[`ThreadPool`]
+//! for sized `install` views.
 //!
-//! [`current_num_threads`] truthfully reports `1` so tests that assert on
-//! real block overlap know to skip themselves.
+//! ## Determinism policy
+//!
+//! The workspace requires **bitwise-identical results at every thread
+//! count** (DESIGN.md, "Threading model & determinism policy"). The shim
+//! holds up its end by making every primitive's *output* a pure function
+//! of its *input*:
+//!
+//! * `collect` is index-addressed — item `i` lands in slot `i`.
+//! * `sum` reduces fixed 4096-element blocks folded in block order, so
+//!   float sums never depend on the schedule.
+//! * `par_sort_unstable*` picks its algorithm by input length alone and
+//!   merges with a deterministic left-priority rule ([`sort`]).
+//! * Chunk boundaries are scheduling hints only; no primitive exposes
+//!   "which thread ran this".
+//!
+//! What the shim *cannot* make deterministic is side-effect interleaving
+//! inside user closures (atomic append order, lock acquisition order) —
+//! consumers of such effects must canonicalize, which in this workspace
+//! means sorting `DeviceAppendBuffer` drains before use.
 
-/// Number of worker threads in the (sequential) pool: always 1.
-pub fn current_num_threads() -> usize {
-    1
-}
+mod iter;
+mod pool;
+mod sort;
+
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 pub mod prelude {
-    /// `into_par_iter()` — sequential: any `IntoIterator` already qualifies.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-    /// `par_iter()` over a slice — sequential `slice::iter`.
-    pub trait IntoParallelRefIterator {
-        type Item;
-        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
-    }
-    impl<T> IntoParallelRefIterator for [T] {
-        type Item = T;
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-    }
-    impl<T> IntoParallelRefIterator for Vec<T> {
-        type Item = T;
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.as_slice().iter()
-        }
-    }
-
-    /// `par_iter_mut()` over a slice — sequential `slice::iter_mut`.
-    pub trait IntoParallelRefMutIterator {
-        type Item;
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
-    }
-    impl<T> IntoParallelRefMutIterator for [T] {
-        type Item = T;
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-    impl<T> IntoParallelRefMutIterator for Vec<T> {
-        type Item = T;
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.as_mut_slice().iter_mut()
-        }
-    }
-
-    /// `par_sort_unstable` and friends — sequential `sort_unstable`.
-    pub trait ParallelSliceMut<T> {
-        fn as_seq_mut_slice(&mut self) -> &mut [T];
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.as_seq_mut_slice().sort_unstable();
-        }
-
-        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-            self.as_seq_mut_slice().sort_unstable_by(compare);
-        }
-
-        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-            self.as_seq_mut_slice().sort_unstable_by_key(key);
-        }
-    }
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn as_seq_mut_slice(&mut self) -> &mut [T] {
-            self
-        }
-    }
-    impl<T> ParallelSliceMut<T> for Vec<T> {
-        fn as_seq_mut_slice(&mut self) -> &mut [T] {
-            self.as_mut_slice()
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IndexedProducer, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn api_parity_smoke() {
         let v: Vec<u32> = (0u32..100).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v.len(), 100);
+        assert_eq!(v, (0u32..100).map(|x| x * 2).collect::<Vec<_>>());
         let s: u32 = v.par_iter().sum();
         assert_eq!(s, 9900);
         let mut pairs = vec![(3u32, 1u32), (1, 2), (2, 0)];
         pairs.par_sort_unstable();
         assert_eq!(pairs, vec![(1, 2), (2, 0), (3, 1)]);
-        assert_eq!(super::current_num_threads(), 1);
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_overrides_reported_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(super::current_num_threads);
+        assert_eq!(seen, 3);
+        // Nested installs restore the outer override.
+        let inner = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let (a, b) = pool.install(|| {
+            let inside = inner.install(super::current_num_threads);
+            (inside, super::current_num_threads())
+        });
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn work_actually_overlaps_across_threads() {
+        // Two tasks that can only finish if they run concurrently:
+        // each waits for the other to arrive. Run under install(2) so
+        // the test is meaningful even with RAYON_NUM_THREADS=1.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let arrived = AtomicUsize::new(0);
+        pool.install(|| {
+            super::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|_| {
+                        arrived.fetch_add(1, Ordering::SeqCst);
+                        let deadline =
+                            std::time::Instant::now() + std::time::Duration::from_secs(5);
+                        while arrived.load(Ordering::SeqCst) < 2 {
+                            assert!(
+                                std::time::Instant::now() < deadline,
+                                "tasks never overlapped"
+                            );
+                            std::thread::yield_now();
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(arrived.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn sort_is_bitwise_identical_across_thread_counts() {
+        // Duplicate keys with distinct payloads expose permutation
+        // differences between schedules/algorithms.
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let input: Vec<(u32, u32)> = (0..40_000u32).map(|i| ((next() % 64) as u32, i)).collect();
+
+        let sorted_at = |threads: usize| {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut v = input.clone();
+            pool.install(|| v.par_sort_unstable_by_key(|p| p.0));
+            v
+        };
+        let t1 = sorted_at(1);
+        let t4 = sorted_at(4);
+        assert_eq!(t1, t4);
+        assert!(t1.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn float_sum_is_deterministic_across_thread_counts() {
+        let values: Vec<f64> = (0..30_000)
+            .map(|i| (i as f64 * 0.1).sin() * 1e-3 + 1.0)
+            .collect();
+        let sum_at = |threads: usize| {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| values.par_iter().sum::<f64>())
+        };
+        assert_eq!(sum_at(1).to_bits(), sum_at(4).to_bits());
+    }
+
+    #[test]
+    fn par_iter_mut_and_enumerate() {
+        let mut v: Vec<u64> = vec![0; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            *slot = i as u64 * 3;
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let (a, b) =
+            pool.install(|| super::join(|| (0..1000u64).sum::<u64>(), || "right".to_string()));
+        assert_eq!(a, 499_500);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn scope_tasks_may_borrow_and_all_complete() {
+        let results = Mutex::new(Vec::new());
+        super::scope(|s| {
+            for i in 0..16 {
+                let results = &results;
+                s.spawn(move |_| {
+                    results.lock().unwrap().push(i);
+                });
+            }
+        });
+        let mut got = results.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let total: u64 = pool.install(|| {
+            (0..8u64)
+                .into_par_iter()
+                .map(|i| {
+                    (0..1000u64)
+                        .into_par_iter()
+                        .map(move |j| i + j)
+                        .sum::<u64>()
+                })
+                .sum()
+        });
+        let expect: u64 = (0..8u64)
+            .map(|i| (0..1000u64).map(|j| i + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn panics_propagate_from_parallel_regions() {
+        let caught = std::panic::catch_unwind(|| {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..64u32).into_par_iter().for_each(|i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err());
     }
 }

@@ -1,0 +1,537 @@
+//! The execution core: a global pool of `std::thread` workers pulling
+//! chunked **regions** of work from a shared queue.
+//!
+//! A region is one parallel operation (a `for_each`, a `collect`, one
+//! merge round of a sort, a `scope` spawn, a `join` branch) split into
+//! `chunks` independently claimable pieces. Claiming is a single
+//! `fetch_add` on the region's `next` cursor, which gives fine-grained
+//! work stealing without per-worker deques: any idle worker grabs the
+//! next chunk of any runnable region, so load imbalance inside a region
+//! is absorbed by whoever is free.
+//!
+//! ## Progress guarantee
+//!
+//! The submitting thread always participates in its own region before
+//! blocking on its completion. Every region therefore completes even if
+//! all workers are busy (or the pool has zero workers), and nested
+//! parallelism — a chunk that itself submits a region — bottoms out on
+//! the caller's own stack. Blocking *between* region chunks (a consumer
+//! chunk waiting on a channel fed by the submitting thread) is safe as
+//! long as the feeding side is not itself queued behind that chunk; the
+//! pipeline keeps its producer on the submitting thread for exactly this
+//! reason.
+//!
+//! ## Sizing
+//!
+//! The pool reads `RAYON_NUM_THREADS` once (0/unset → all cores via
+//! `available_parallelism`). [`ThreadPoolBuilder`] can *raise* the worker
+//! count later (workers are global and permanent); `install` bounds the
+//! concurrency of regions submitted inside it via a thread-local
+//! override, which workers inherit while executing those chunks.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Safety valve on configured pool sizes (oversubscription is allowed —
+/// single-core hosts still exercise real concurrency — but bounded).
+const MAX_THREADS: usize = 256;
+
+thread_local! {
+    /// Concurrency override installed by [`ThreadPool::install`] and
+    /// inherited by workers while running an overridden region's chunks.
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads the current context may use: the `install`
+/// override if one is active, otherwise the configured pool size.
+pub fn current_num_threads() -> usize {
+    OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(|| pool().n_threads)
+}
+
+fn configured_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(MAX_THREADS),
+        // 0 or unset/unparsable: all cores, like rayon.
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_THREADS),
+    }
+}
+
+/// Type-erased borrowed chunk executor. The raw pointer targets the
+/// submitter's stack frame; sound because the submitter blocks until the
+/// region completes, so the pointee outlives every dereference.
+#[derive(Clone, Copy)]
+struct TaskPtr {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+// SAFETY: the pointee is `Sync` (enforced by `run_parallel`'s bound) and
+// outlives all use (the submitter blocks); see above.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+type OwnedJob = Box<dyn FnOnce() + Send>;
+
+enum RegionTask {
+    /// Chunk closure borrowed from the submitting stack frame.
+    Borrowed(TaskPtr),
+    /// Owned one-shot jobs (scope spawns, join branches), one per chunk.
+    Owned(Vec<Mutex<Option<OwnedJob>>>),
+}
+
+pub(crate) struct Region {
+    task: RegionTask,
+    chunks: usize,
+    /// Next unclaimed chunk (claim = `fetch_add`).
+    next: AtomicUsize,
+    /// Max threads (submitter included) allowed in concurrently.
+    limit: usize,
+    /// Threads currently executing chunks.
+    active: AtomicUsize,
+    /// Completed chunk count, guarded for the completion condvar.
+    done: Mutex<usize>,
+    completed: Condvar,
+    /// First panic payload out of any chunk.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Region {
+    fn new(task: RegionTask, chunks: usize, limit: usize) -> Arc<Region> {
+        Arc::new(Region {
+            task,
+            chunks,
+            next: AtomicUsize::new(0),
+            limit,
+            active: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            completed: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn run_chunk(&self, i: usize) {
+        let result = catch_unwind(AssertUnwindSafe(|| match &self.task {
+            RegionTask::Borrowed(ptr) => unsafe { (ptr.call)(ptr.data, i) },
+            RegionTask::Owned(slots) => {
+                if let Some(job) = slots[i].lock().unwrap().take() {
+                    job();
+                }
+            }
+        }));
+        if let Err(payload) = result {
+            let mut p = self.panic.lock().unwrap();
+            if p.is_none() {
+                *p = Some(payload);
+            }
+        }
+    }
+
+    fn claimable(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.chunks
+            && self.active.load(Ordering::Relaxed) < self.limit
+    }
+
+    /// Block until every chunk has run (not merely been claimed).
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while *done < self.chunks {
+            done = self.completed.wait(done).unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// Claim and run chunks of `region` until none remain (or the region's
+/// concurrency cap is already met). Called by workers and submitters
+/// alike; panics are captured into the region, never unwound from here.
+fn run_region(region: &Region) {
+    if region.active.fetch_add(1, Ordering::SeqCst) >= region.limit {
+        region.active.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    // Inherit the region's cap so nested parallelism inside a chunk sees
+    // the same effective thread count on every executing thread.
+    let prev = OVERRIDE.with(|o| o.replace(Some(region.limit)));
+    let mut ran = 0usize;
+    loop {
+        let i = region.next.fetch_add(1, Ordering::SeqCst);
+        if i >= region.chunks {
+            break;
+        }
+        region.run_chunk(i);
+        ran += 1;
+    }
+    OVERRIDE.with(|o| o.set(prev));
+    region.active.fetch_sub(1, Ordering::SeqCst);
+    if ran > 0 {
+        let mut done = region.done.lock().unwrap();
+        *done += ran;
+        if *done == region.chunks {
+            region.completed.notify_all();
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<Vec<Arc<Region>>>,
+    work: Condvar,
+    /// Configured size (env at first use); `current_num_threads` baseline.
+    n_threads: usize,
+    /// Workers spawned so far (grows on demand, never shrinks).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+fn pool() -> &'static Arc<Pool> {
+    POOL.get_or_init(|| {
+        let n = configured_threads();
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(Vec::new()),
+            work: Condvar::new(),
+            n_threads: n,
+            spawned: Mutex::new(0),
+        });
+        pool.ensure_workers(n.saturating_sub(1));
+        pool
+    })
+}
+
+impl Pool {
+    /// Grow the worker set to at least `target` threads. The submitting
+    /// thread always participates on top of these, so `n`-way concurrency
+    /// needs `n - 1` workers.
+    fn ensure_workers(self: &Arc<Self>, target: usize) {
+        let target = target.min(MAX_THREADS);
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < target {
+            let idx = *spawned;
+            let pool = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{idx}"))
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            let found = queue.iter().find(|r| r.claimable()).cloned();
+            match found {
+                Some(region) => {
+                    drop(queue);
+                    run_region(&region);
+                    queue = self.queue.lock().unwrap();
+                }
+                None => queue = self.work.wait(queue).unwrap(),
+            }
+        }
+    }
+
+    fn submit(&self, region: &Arc<Region>) {
+        self.queue.lock().unwrap().push(Arc::clone(region));
+        self.work.notify_all();
+    }
+
+    fn remove(&self, region: &Arc<Region>) {
+        self.queue
+            .lock()
+            .unwrap()
+            .retain(|r| !Arc::ptr_eq(r, region));
+        // A worker that consumed a wakeup for this region may have found
+        // it at capacity while another region still has work: re-notify.
+        self.work.notify_all();
+    }
+}
+
+/// Submit, participate, wait, clean up, propagate the first panic.
+fn execute_region(pool: &Arc<Pool>, region: Arc<Region>) {
+    pool.submit(&region);
+    run_region(&region);
+    region.wait();
+    pool.remove(&region);
+    if let Some(payload) = region.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Execute `task(i)` for every `i` in `0..chunks`, in parallel across the
+/// pool. Blocks until every chunk has run; the first chunk panic is
+/// resumed on the calling thread after the region drains.
+///
+/// This is the primitive every parallel iterator/sort bottoms out in.
+/// Chunk *content* must not depend on the thread count — determinism of
+/// everything above relies on chunking being schedule-only.
+pub(crate) fn run_parallel<F: Fn(usize) + Sync>(chunks: usize, task: F) {
+    if chunks == 0 {
+        return;
+    }
+    let limit = current_num_threads();
+    if chunks == 1 || limit <= 1 {
+        // Sequential fast path: same chunks, same order, same effects.
+        for i in 0..chunks {
+            task(i);
+        }
+        return;
+    }
+    let pool = pool();
+    pool.ensure_workers(limit.saturating_sub(1));
+
+    unsafe fn call_chunk<F: Fn(usize)>(data: *const (), i: usize) {
+        // SAFETY: `data` is the `&task` from the frame below, which blocks
+        // until every chunk completes.
+        unsafe { (*data.cast::<F>())(i) }
+    }
+    let ptr = TaskPtr {
+        data: (&task as *const F).cast(),
+        call: call_chunk::<F>,
+    };
+    let region = Region::new(RegionTask::Borrowed(ptr), chunks, limit);
+    execute_region(pool, region);
+}
+
+/// Erase an owned job's borrow lifetime. Sound only because every caller
+/// joins the job before the borrowed frame unwinds or returns.
+unsafe fn erase_job<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> OwnedJob {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, OwnedJob>(job) }
+}
+
+/// `rayon::join`: runs `oper_a` on the pool (or inline if unclaimed) and
+/// `oper_b` on the calling thread, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let limit = current_num_threads();
+    if limit <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let pool = pool();
+    pool.ensure_workers(limit.saturating_sub(1));
+
+    let slot: Mutex<Option<RA>> = Mutex::new(None);
+    let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+        *slot.lock().unwrap() = Some(oper_a());
+    });
+    // SAFETY: joined below before `slot`/`oper_a` borrows expire, on both
+    // the normal and the `oper_b`-panicked path.
+    let job = unsafe { erase_job(job) };
+    let region = Region::new(RegionTask::Owned(vec![Mutex::new(Some(job))]), 1, limit);
+    pool.submit(&region);
+
+    let rb = catch_unwind(AssertUnwindSafe(oper_b));
+    run_region(&region);
+    region.wait();
+    pool.remove(&region);
+    let a_panic = region.take_panic();
+    let rb = match rb {
+        Ok(rb) => rb,
+        Err(payload) => resume_unwind(payload),
+    };
+    if let Some(payload) = a_panic {
+        resume_unwind(payload);
+    }
+    let ra = slot
+        .lock()
+        .unwrap()
+        .take()
+        .expect("join branch completed without a result or a panic");
+    (ra, rb)
+}
+
+/// A scope for spawning pool-backed tasks that may borrow from the
+/// enclosing frame ([`scope`]).
+pub struct Scope<'scope> {
+    limit: usize,
+    pending: Mutex<Vec<Arc<Region>>>,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+#[derive(Clone, Copy)]
+struct ScopePtr(*const ());
+// SAFETY: points at the `Scope` owned by `scope()`, which outlives every
+// task (they are all joined before it returns); `Scope` is `Sync`.
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    // Accessor (not field access) so edition-2021 closures capture the
+    // whole Send wrapper rather than the raw pointer field.
+    fn get(self) -> *const () {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` onto the pool **immediately** (it may start before
+    /// `scope`'s closure returns — the pipeline's consumers rely on
+    /// running while the producer still executes inside the scope).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let this = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: see `ScopePtr`.
+            let scope = unsafe { &*(this.get() as *const Scope<'scope>) };
+            f(scope)
+        });
+        // SAFETY: `scope()` joins every spawned task before returning.
+        let job = unsafe { erase_job(job) };
+        let region = Region::new(
+            RegionTask::Owned(vec![Mutex::new(Some(job))]),
+            1,
+            self.limit,
+        );
+        pool().submit(&region);
+        self.pending.lock().unwrap().push(region);
+    }
+}
+
+/// `rayon::scope`: tasks spawned inside may borrow from the caller's
+/// frame; all of them are joined before `scope` returns.
+///
+/// Tasks are claimed by pool workers as they become free; whatever is
+/// still unclaimed when the scope closure returns is run by the calling
+/// thread, so the scope completes even on a zero-worker pool. As in real
+/// rayon, tasks that *block on each other* need enough threads to all be
+/// in flight — callers gate on [`current_num_threads`] for that.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let limit = current_num_threads();
+    let p = pool();
+    p.ensure_workers(limit.saturating_sub(1));
+    let s = Scope {
+        limit,
+        pending: Mutex::new(Vec::new()),
+        _marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+
+    // Join everything (tasks may themselves spawn more) before letting
+    // any panic unwind past borrows the tasks may hold.
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    loop {
+        let batch: Vec<Arc<Region>> = std::mem::take(&mut *s.pending.lock().unwrap());
+        if batch.is_empty() {
+            break;
+        }
+        for region in &batch {
+            run_region(region);
+        }
+        for region in batch {
+            region.wait();
+            p.remove(&region);
+            if first_panic.is_none() {
+                first_panic = region.take_panic();
+            }
+        }
+    }
+
+    match result {
+        Ok(r) => {
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+            r
+        }
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim;
+/// present for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a sized [`ThreadPool`] view.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "the configured default", as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => configured_threads(),
+        };
+        // Workers are global: building a bigger pool grows the shared
+        // worker set so `install(n)` really gets `n`-way concurrency.
+        pool().ensure_workers(n.saturating_sub(1));
+        Ok(ThreadPool { n })
+    }
+}
+
+/// A sized view onto the global pool: work submitted under
+/// [`ThreadPool::install`] is capped at (and reports) `n` threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Run `op` with this pool's thread count: inside, every parallel
+    /// construct (and [`current_num_threads`]) sees `n`.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = OVERRIDE.with(|o| o.replace(Some(self.n)));
+        let restore = RestoreOverride(prev);
+        let r = op();
+        drop(restore);
+        r
+    }
+}
+
+struct RestoreOverride(Option<usize>);
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic parallel merge sort backing `par_sort_unstable*`.
+//!
+//! ## Thread-count invariance
+//!
+//! The output permutation of an unstable sort can legitimately differ
+//! between *algorithms* when keys compare equal — and the workspace
+//! requires bitwise-identical results at every `RAYON_NUM_THREADS`. So
+//! the algorithm choice here depends **only on the input length**:
+//!
+//! * `n <= RUN`: sequential `sort_unstable_by` — at every thread count.
+//! * `n > RUN`: run-sort + merge-path rounds — at every thread count,
+//!   *including 1*. The merge is stable with left-priority ties and the
+//!   run/segment boundaries derive from `n` alone, so the result is a
+//!   pure function of the input, not of the schedule.
+//!
+//! Chunking hands each initial run and each merge segment to the pool as
+//! one chunk; which thread executes a chunk never changes what the chunk
+//! writes.
+
+use crate::iter::SendPtr;
+use crate::pool::run_parallel;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+/// Initial sequential run length (and the sequential cutoff).
+const RUN: usize = 4096;
+/// Output elements per merge chunk. `SEG <= 2 * width` for every round
+/// (width starts at `RUN`), and both are powers of two, so a segment
+/// never spans a merge-pair boundary.
+const SEG: usize = 8192;
+
+pub(crate) fn par_sort_unstable_by<T, C>(v: &mut [T], cmp: &C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = v.len();
+    if n <= RUN {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+
+    // Phase 1: sort each RUN-sized run in place, in parallel.
+    let n_runs = n.div_ceil(RUN);
+    {
+        let base = SendPtr::new(v.as_mut_ptr());
+        run_parallel(n_runs, move |r| {
+            let lo = r * RUN;
+            let hi = (lo + RUN).min(n);
+            // SAFETY: runs are disjoint; each chunk touches exactly one.
+            let run = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            run.sort_unstable_by(|a, b| cmp(a, b));
+        });
+    }
+
+    // Phase 2: merge rounds, ping-ponging between `v` and scratch.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    let v_ptr = v.as_mut_ptr();
+    let s_ptr = scratch.as_mut_ptr().cast::<T>();
+
+    // A comparator panic mid-merge leaves moved-from and moved-to copies
+    // of `Drop` elements live in both buffers — unwinding would
+    // double-drop, so abort instead. For `!needs_drop` types unwinding is
+    // fine: `v` retains valid (if scrambled) values.
+    let guard = AbortOnUnwind::arm(std::mem::needs_drop::<T>());
+
+    let mut src: *mut T = v_ptr;
+    let mut dst: *mut T = s_ptr;
+    let mut width = RUN;
+    while width < n {
+        let n_segs = n.div_ceil(SEG);
+        {
+            let src = SendPtr::new(src);
+            let dst = SendPtr::new(dst);
+            run_parallel(n_segs, move |s_idx| {
+                let (src, dst) = (src.get() as *const T, dst.get());
+                let k0g = s_idx * SEG;
+                let k1g = (k0g + SEG).min(n);
+                // The merge pair this segment falls inside.
+                let pair = k0g / (2 * width);
+                let lo = pair * 2 * width;
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                // SAFETY: lo <= k0g < k1g <= hi (SEG never spans a pair),
+                // and distinct segments write disjoint dst ranges.
+                unsafe {
+                    let a = src.add(lo);
+                    let la = mid - lo;
+                    let b = src.add(mid);
+                    let lb = hi - mid;
+                    let k0 = k0g - lo;
+                    let k1 = k1g.min(hi) - lo;
+                    let i0 = co_rank(k0, a, la, b, lb, cmp);
+                    let i1 = co_rank(k1, a, la, b, lb, cmp);
+                    merge_into(
+                        a.add(i0),
+                        i1 - i0,
+                        b.add(k0 - i0),
+                        (k1 - i1) - (k0 - i0),
+                        dst.add(lo + k0),
+                        cmp,
+                    );
+                }
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+
+    if !ptr::eq(src, v_ptr) {
+        // Sorted data ended in scratch; move it home.
+        // SAFETY: both buffers hold n slots and do not overlap.
+        unsafe { ptr::copy_nonoverlapping(src, v_ptr, n) };
+    }
+    guard.defuse();
+    // `scratch` drops as Vec<MaybeUninit<T>> — never runs element drops,
+    // so elements are dropped exactly once (by `v`).
+}
+
+/// Co-rank (merge path) search: the number of elements the first `k`
+/// outputs of merging `a[..la]` and `b[..lb]` take from `a`, under the
+/// left-priority tie rule (equal elements come from `a` first).
+///
+/// # Safety
+/// `a`/`b` must be valid for `la`/`lb` reads and `k <= la + lb`.
+unsafe fn co_rank<T, C>(k: usize, a: *const T, la: usize, b: *const T, lb: usize, cmp: &C) -> usize
+where
+    C: Fn(&T, &T) -> Ordering,
+{
+    // Invariant: answer in [lo, hi]. In-loop: i < la and 1 <= j <= lb.
+    let mut lo = k.saturating_sub(lb);
+    let mut hi = k.min(la);
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = k - i;
+        // Taking a[i] as output k is wrong iff b[j-1] must precede it.
+        if unsafe { cmp(&*b.add(j - 1), &*a.add(i)) } == Ordering::Less {
+            hi = i;
+        } else {
+            lo = i + 1;
+        }
+    }
+    lo
+}
+
+/// Sequential stable merge of `a[..la]` and `b[..lb]` into `out`, taking
+/// from `b` only when strictly smaller (left-priority ties).
+///
+/// # Safety
+/// `a`, `b` valid for reads; `out` valid for `la + lb` writes; the source
+/// and destination ranges must not overlap.
+unsafe fn merge_into<T, C>(
+    mut a: *const T,
+    mut la: usize,
+    mut b: *const T,
+    mut lb: usize,
+    mut out: *mut T,
+    cmp: &C,
+) where
+    C: Fn(&T, &T) -> Ordering,
+{
+    unsafe {
+        while la > 0 && lb > 0 {
+            if cmp(&*b, &*a) == Ordering::Less {
+                ptr::copy_nonoverlapping(b, out, 1);
+                b = b.add(1);
+                lb -= 1;
+            } else {
+                ptr::copy_nonoverlapping(a, out, 1);
+                a = a.add(1);
+                la -= 1;
+            }
+            out = out.add(1);
+        }
+        if la > 0 {
+            ptr::copy_nonoverlapping(a, out, la);
+        } else if lb > 0 {
+            ptr::copy_nonoverlapping(b, out, lb);
+        }
+    }
+}
+
+/// Abort-on-unwind bomb for the merge phase of `Drop` types.
+struct AbortOnUnwind {
+    armed: bool,
+}
+
+impl AbortOnUnwind {
+    fn arm(armed: bool) -> Self {
+        AbortOnUnwind { armed }
+    }
+
+    fn defuse(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!("fatal: comparator panicked during parallel merge of Drop elements");
+            std::process::abort();
+        }
+    }
+}

@@ -197,7 +197,7 @@ fn print_batching_telemetry(opts: &Options, rec: &std::sync::Arc<obs::Recorder>)
     println!(
         "estimation-kernel sample fraction f = {:.3} (stride {})",
         cfg.batch.sample_fraction,
-        (1.0 / cfg.batch.sample_fraction).round() as usize
+        cfg.batch.stride()
     );
     let mut cache = DatasetCache::new(opts.scale);
     let selected = opts.select(&["SW1", "SW4", "SDSS1", "SDSS2"]);

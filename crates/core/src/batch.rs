@@ -11,8 +11,12 @@
 //!
 //! Mechanics, exactly as published:
 //!
-//! * Estimate the total result size `a_b = e_b / f` from the counting
-//!   kernel's exact neighbor count `e_b` over a sample fraction `f = 0.01`.
+//! * Estimate the total result size `a_b` from the counting kernel's
+//!   exact neighbor count `e_b` over a sample fraction `f = 0.01`. (The
+//!   paper writes `a_b = e_b / f`; since the kernel samples at
+//!   `stride = round(1/f)`, we scale by the *realized* sample size —
+//!   `a_b = e_b · |D| / ceil(|D|/stride)` — which is unbiased even when
+//!   `1/f` is non-integral or the stride does not divide `|D|`.)
 //! * Overestimate by `α = 0.05`:  `n_b = ceil((1 + α) · a_b / b_b)`
 //!   (Equation 1).
 //! * Assign points to batches by *stride*: batch `l` processes points
@@ -73,15 +77,54 @@ pub struct BatchPlan {
 }
 
 impl BatchConfig {
-    /// Scale the counting kernel's sample count `e_b` to the total
-    /// estimate `a_b = e_b / f`.
-    pub fn estimate_total(&self, e_b: u64) -> u64 {
-        (e_b as f64 / self.sample_fraction).ceil() as u64
+    /// Minimum number of points the estimation kernel samples (when the
+    /// database has that many). At the paper's `f = 0.01` a database of a
+    /// few thousand points would otherwise be estimated from a handful of
+    /// neighborhoods — or just one — and a single unlucky sample point
+    /// yields buffers smaller than a single neighborhood, which no amount
+    /// of batch-splitting can recover from.
+    pub const MIN_SAMPLE: usize = 32;
+
+    /// Sampling stride implied by the sample fraction alone:
+    /// `round(1/f)`, the paper's setting.
+    pub fn stride(&self) -> usize {
+        (1.0 / self.sample_fraction).round().max(1.0) as usize
     }
 
-    /// Build the batch plan for sample count `e_b` (Equation 1).
-    pub fn plan(&self, e_b: u64) -> BatchPlan {
-        let a_b = self.estimate_total(e_b).max(1);
+    /// Sampling stride of the estimation kernel for a database of
+    /// `n_points`: thread `g` counts the neighbors of point `g · stride`.
+    /// This is `round(1/f)`, clamped so the realized sample keeps at
+    /// least [`Self::MIN_SAMPLE`] points (all of them, for databases
+    /// smaller than that). Every consumer of the sample (the kernel
+    /// launch and the estimate scaling) must use this same stride.
+    pub fn stride_for(&self, n_points: usize) -> usize {
+        self.stride().min((n_points / Self::MIN_SAMPLE).max(1))
+    }
+
+    /// Number of points the estimation kernel actually samples for a
+    /// database of `n_points`: `ceil(n / stride)`.
+    pub fn sample_size(&self, n_points: usize) -> usize {
+        n_points.div_ceil(self.stride_for(n_points)).max(1)
+    }
+
+    /// Scale the counting kernel's sample count `e_b` to the total
+    /// estimate `a_b`.
+    ///
+    /// The paper writes `a_b = e_b / f`, but the kernel samples at
+    /// `stride = round(1/f)` and covers `ceil(n / stride)` points, so for
+    /// `f` where `1/f` is non-integral (or `n mod stride != 0`) the
+    /// *realized* fraction differs from `f` and dividing by `f` would bias
+    /// `a_b` systematically. Scaling by the realized sample size —
+    /// `a_b = e_b · n / sample_size` — is unbiased for every `f` and `n`.
+    pub fn estimate_total(&self, e_b: u64, n_points: usize) -> u64 {
+        let sample = self.sample_size(n_points);
+        (e_b as f64 * n_points as f64 / sample as f64).ceil() as u64
+    }
+
+    /// Build the batch plan for sample count `e_b` over a database of
+    /// `n_points` (Equation 1).
+    pub fn plan(&self, e_b: u64, n_points: usize) -> BatchPlan {
+        let a_b = self.estimate_total(e_b, n_points).max(1);
 
         let (buffer_items, effective_alpha, variable) = if a_b >= self.static_threshold {
             (self.static_buffer_items, self.alpha, false)
@@ -175,12 +218,12 @@ mod tests {
         // a_b = 1000, bb = 100, alpha = 0.05 -> nb = ceil(1050/100) = 11.
         let cfg = BatchConfig {
             alpha: 0.05,
-            sample_fraction: 1.0, // e_b is already the total
+            sample_fraction: 1.0, // stride 1: e_b is already the total
             static_threshold: 0,  // force the static path
             static_buffer_items: 100,
             n_streams: 3,
         };
-        let plan = cfg.plan(1000);
+        let plan = cfg.plan(1000, 5000);
         assert_eq!(plan.n_batches, 11);
         assert_eq!(plan.buffer_items, 100);
         assert_eq!(plan.effective_alpha, 0.05);
@@ -190,8 +233,9 @@ mod tests {
     #[test]
     fn small_estimates_use_three_variable_buffers() {
         let cfg = BatchConfig::default();
-        // e_b = 1000 at f = 0.01 -> a_b = 100_000, far below 3e8.
-        let plan = cfg.plan(1000);
+        // e_b = 1000 at f = 0.01 over n = 100_000 (stride 100, sample
+        // 1000) -> a_b = 1000 * 100_000 / 1000 = 100_000, far below 3e8.
+        let plan = cfg.plan(1000, 100_000);
         assert!(plan.variable_buffer);
         assert_eq!(plan.effective_alpha, 0.10);
         assert_eq!(plan.estimated_total, 100_000);
@@ -203,8 +247,8 @@ mod tests {
     #[test]
     fn large_estimates_use_static_buffer() {
         let cfg = BatchConfig::default();
-        // e_b = 5e6 at f = 0.01 -> a_b = 5e8 >= 3e8.
-        let plan = cfg.plan(5_000_000);
+        // e_b = 5e6 at f = 0.01 over n = 1e6 -> a_b = 5e8 >= 3e8.
+        let plan = cfg.plan(5_000_000, 1_000_000);
         assert!(!plan.variable_buffer);
         assert_eq!(plan.buffer_items, 100_000_000);
         // nb = ceil(1.05 * 5e8 / 1e8) = 6.
@@ -212,10 +256,66 @@ mod tests {
     }
 
     #[test]
+    fn estimate_scales_by_realized_sample_size() {
+        // f = 0.03: 1/f = 33.33 is non-integral, so the kernel's stride is
+        // round(1/f) = 33 and the realized fraction differs from f. The
+        // estimate must scale by the realized sample, not by 1/f.
+        let cfg = BatchConfig {
+            sample_fraction: 0.03,
+            ..BatchConfig::default()
+        };
+        assert_eq!(cfg.stride(), 33);
+        let n = 10_000;
+        assert_eq!(cfg.stride_for(n), 33); // no MIN_SAMPLE clamp at this n
+        assert_eq!(cfg.sample_size(n), 304); // ceil(10_000/33)
+        let e_b = 304u64;
+        // Unbiased: e_b * n / sample = 304 * 10_000 / 304 = 10_000.
+        assert_eq!(cfg.estimate_total(e_b, n), 10_000);
+        // The naive paper formula e_b / f would overestimate by the
+        // stride-rounding bias (~1.3% here): ceil(304 / 0.03) = 10_134.
+        let naive = (e_b as f64 / cfg.sample_fraction).ceil() as u64;
+        assert_eq!(naive, 10_134);
+        assert!(naive > cfg.estimate_total(e_b, n));
+        // And the plan consumes the unbiased value.
+        assert_eq!(cfg.plan(e_b, n).estimated_total, 10_000);
+    }
+
+    #[test]
+    fn estimate_unbiased_when_stride_does_not_divide_n() {
+        // Even with 1/f integral, n % stride != 0 inflates the realized
+        // fraction: n = 10_050 at stride 100 samples 101 points, not
+        // 100.5.
+        let cfg = BatchConfig::default(); // f = 0.01
+        let n = 10_050;
+        assert_eq!(cfg.stride_for(n), 100);
+        assert_eq!(cfg.sample_size(n), 101);
+        // e_b * 10_050 / 101, not e_b * 100.
+        assert_eq!(cfg.estimate_total(1010, n), 100_500);
+        assert_eq!(cfg.estimate_total(101, n), 10_050);
+    }
+
+    #[test]
+    fn small_databases_sample_everything() {
+        // Below MIN_SAMPLE · stride points, the f-derived stride would
+        // estimate from almost nothing; the clamp keeps the realized
+        // sample at MIN_SAMPLE points, down to "all of them" for tiny
+        // databases — where an exact estimate is effectively free.
+        let cfg = BatchConfig::default(); // f = 0.01, stride 100
+        assert_eq!(cfg.stride_for(60), 1);
+        assert_eq!(cfg.sample_size(60), 60); // exhaustive: e_b is exact
+        assert_eq!(cfg.estimate_total(777, 60), 777);
+        assert_eq!(cfg.stride_for(2000), 62); // 2000/32
+        assert_eq!(cfg.sample_size(2000), 33); // ceil(2000/62) >= MIN_SAMPLE
+        assert!(cfg.sample_size(2000) >= BatchConfig::MIN_SAMPLE);
+        // Large databases are unaffected.
+        assert_eq!(cfg.stride_for(1_000_000), 100);
+    }
+
+    #[test]
     fn batch_buffers_always_cover_expected_size_with_margin() {
         let cfg = BatchConfig::default();
         for e_b in [1u64, 100, 10_000, 1_000_000, 50_000_000] {
-            let plan = cfg.plan(e_b);
+            let plan = cfg.plan(e_b, 1_000_000);
             assert!(
                 plan.expected_batch_size() <= plan.buffer_items,
                 "e_b = {e_b}: expected {} > buffer {}",
@@ -230,7 +330,7 @@ mod tests {
 
     #[test]
     fn zero_estimate_still_plans_valid_batches() {
-        let plan = BatchConfig::default().plan(0);
+        let plan = BatchConfig::default().plan(0, 100);
         assert!(plan.n_batches >= 1);
         assert!(plan.buffer_items >= 1);
     }
@@ -238,7 +338,7 @@ mod tests {
     #[test]
     fn fit_to_memory_shrinks_buffers_and_grows_batches() {
         let cfg = BatchConfig::default();
-        let plan = cfg.plan(5_000_000); // static 1e8-item buffers
+        let plan = cfg.plan(5_000_000, 1_000_000); // static 1e8-item buffers
         let fitted = plan.fit_to_memory(240_000_000, 8, 3).unwrap();
         assert_eq!(fitted.buffer_items, 10_000_000);
         assert!(fitted.n_batches > plan.n_batches);
@@ -249,7 +349,7 @@ mod tests {
     #[test]
     fn fit_to_memory_no_change_when_already_fitting() {
         let cfg = BatchConfig::default();
-        let plan = cfg.plan(1000);
+        let plan = cfg.plan(1000, 100_000);
         let fitted = plan.fit_to_memory(usize::MAX, 8, 3).unwrap();
         assert_eq!(fitted, plan);
     }
@@ -284,7 +384,7 @@ mod tests {
 
     #[test]
     fn doubled_batches_fallback() {
-        let plan = BatchConfig::default().plan(1000);
+        let plan = BatchConfig::default().plan(1000, 100_000);
         let doubled = plan.with_doubled_batches();
         assert_eq!(doubled.n_batches, plan.n_batches * 2);
     }

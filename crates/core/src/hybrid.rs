@@ -114,9 +114,12 @@ pub struct GpuPhaseReport {
     pub modeled_time: SimDuration,
     /// Host wall-clock time actually spent (for honesty in reports).
     pub wall_time: std::time::Duration,
-    /// The executed batch plan.
+    /// The batch plan actually executed. If overflow retries occurred this
+    /// is the *retried* plan (doubled `n_batches`), not the initial one —
+    /// post-retry telemetry must describe the run that produced the
+    /// results, and `plan.n_batches` always equals [`Self::n_batches`].
     pub plan: BatchPlan,
-    /// Batches actually run (≥ plan.n_batches if retries occurred).
+    /// Batches actually run (= `plan.n_batches`).
     pub n_batches: usize,
     /// Total result-set pairs produced (`|R|` = `|B|`).
     pub result_pairs: usize,
@@ -354,7 +357,10 @@ impl HybridDbscan {
         // Result-size estimation kernel over the f-sample.
         let est_span = rec.map(|r| r.span("estimation_kernel", "host"));
         let counter = DeviceCounter::new(&self.device)?;
-        let stride = (1.0 / cfg.batch.sample_fraction).round().max(1.0) as usize;
+        // The stride and the estimate scaling must come from the same
+        // place (BatchConfig), or the realized sample fraction and the
+        // assumed one drift apart and bias a_b.
+        let stride = cfg.batch.stride_for(sorted.len());
         let count_kernel = NeighborCountKernel {
             data: d_buf.as_slice(),
             grid_cells: g_buf.as_slice(),
@@ -374,8 +380,9 @@ impl HybridDbscan {
         }
 
         // Batch plan (Equation 1), fitted to the remaining device memory
-        // with a small headroom.
-        let mut plan = cfg.batch.plan(e_b);
+        // with a small headroom. The plan scales e_b by the realized
+        // sample size, not by 1/f (see BatchConfig::estimate_total).
+        let mut plan = cfg.batch.plan(e_b, sorted.len());
         let n_buffers = cfg.batch.n_streams.min(plan.n_batches).max(1);
         let headroom = self.device.available_bytes() / 10;
         plan = plan
@@ -451,7 +458,25 @@ impl HybridDbscan {
                     if retries > cfg.max_retries {
                         return Err(HybridError::RetriesExhausted { attempts: retries });
                     }
-                    attempt_plan = attempt_plan.with_doubled_batches();
+                    if attempt_plan.n_batches < sorted.len() {
+                        attempt_plan = attempt_plan.with_doubled_batches();
+                        // More batches than points is pure overhead.
+                        attempt_plan.n_batches = attempt_plan.n_batches.min(sorted.len());
+                    } else {
+                        // Already one point per batch and still
+                        // overflowing: the buffer is smaller than a
+                        // single ε-neighborhood, and no batch split can
+                        // fix that. Grow the buffers instead.
+                        attempt_plan.buffer_items *= 2;
+                        dev_buffers = (0..n_buffers)
+                            .map(|_| {
+                                DeviceAppendBuffer::new(&self.device, attempt_plan.buffer_items)
+                            })
+                            .collect::<Result<_, _>>()?;
+                        pinned = (0..n_buffers)
+                            .map(|_| PinnedBuffer::new(&self.device, attempt_plan.buffer_items))
+                            .collect();
+                    }
                 }
             }
         };
@@ -506,7 +531,7 @@ impl HybridDbscan {
         let gpu = GpuPhaseReport {
             modeled_time,
             wall_time: wall_start.elapsed(),
-            plan,
+            plan: attempt_plan,
             n_batches: attempt_plan.n_batches,
             result_pairs: total_pairs,
             per_batch_pairs,
@@ -895,16 +920,18 @@ mod tests {
     fn overflow_recovery_doubles_batches() {
         let data = mixed_points(400);
         let device = Device::k20c();
-        // Lie to the planner: a sample "fraction" above 1 makes the
-        // estimate a_b = e_b / f a 4x *underestimate* of the true result
-        // size (the stride clamps to 1, so e_b is exact), so the first
-        // plan's buffers must overflow and the retry path kicks in.
+        // Lie to the planner: a strongly negative α makes Equation 1 plan
+        // far too few batches for the (exact, stride-1) estimate, so the
+        // static per-stream buffers must overflow and the retry path
+        // kicks in. (The old trick of a sample "fraction" above 1 no
+        // longer works: the estimate is scaled by the realized sample
+        // size, so any f with stride 1 yields an exact a_b.)
         let cfg = HybridConfig {
             batch: BatchConfig {
-                alpha: 0.05,
-                sample_fraction: 4.0,
-                static_threshold: u64::MAX, // variable-buffer path
-                static_buffer_items: 0,     // unused on that path
+                alpha: -0.9,
+                sample_fraction: 1.0,
+                static_threshold: 0,       // static-buffer path
+                static_buffer_items: 2000, // far below |R| / n_b
                 n_streams: 3,
             },
             max_retries: 16,
@@ -912,14 +939,85 @@ mod tests {
         };
         let hybrid = HybridDbscan::new(&device, cfg);
         let r = hybrid.run(&data, 1.0, 4).unwrap();
-        assert!(
-            r.gpu.retries > 0,
-            "undersized estimate must trigger retries"
-        );
+        assert!(r.gpu.retries > 0, "undersized plan must trigger retries");
         // And the result is still correct.
         let grid = GridIndex::build(&data, 1.0);
         let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
         assert!(r.clustering.equivalent_to(&direct));
+    }
+
+    #[test]
+    fn post_retry_report_and_metrics_describe_executed_plan() {
+        // After overflow recovery the report's plan (and the recorded
+        // telemetry) must describe the *retried* plan, not the initial
+        // one, and count the retries.
+        let data = mixed_points(400);
+        let device = Device::k20c();
+        let cfg = HybridConfig {
+            batch: BatchConfig {
+                alpha: -0.9,
+                sample_fraction: 1.0,
+                static_threshold: 0,
+                static_buffer_items: 2000,
+                n_streams: 3,
+            },
+            max_retries: 16,
+            ..HybridConfig::default()
+        };
+        let rec = Arc::new(obs::Recorder::new());
+        let hybrid = HybridDbscan::new(&device, cfg).with_recorder(rec.clone());
+        let r = hybrid.run(&data, 1.0, 4).unwrap();
+        assert!(r.gpu.retries > 0, "test must exercise the retry path");
+        // The executed plan is the one in the report.
+        assert_eq!(r.gpu.plan.n_batches, r.gpu.n_batches);
+        assert_eq!(r.gpu.per_batch_pairs.len(), r.gpu.n_batches);
+        let initial = cfg.batch.plan(r.gpu.e_b, data.len());
+        assert!(
+            r.gpu.plan.n_batches > initial.n_batches,
+            "retried plan must have more batches than the initial plan"
+        );
+        // Telemetry: the retry counter and the batch count reflect the
+        // executed run.
+        let m = rec.metrics().snapshot();
+        assert_eq!(m.counters["batch.retries"], r.gpu.retries as u64);
+        assert_eq!(m.counters["batch.batches_run"], r.gpu.n_batches as u64);
+        assert_eq!(
+            m.histograms["batch.pairs"].count, r.gpu.n_batches as u64,
+            "per-batch telemetry must come from the executed plan"
+        );
+    }
+
+    #[test]
+    fn fractional_sample_stride_estimate_is_unbiased() {
+        // Regression for the estimation-stride bias: with f = 0.03 the
+        // stride is round(1/0.03) = 33, whose realized fraction differs
+        // from f. The report's estimated total must equal the unbiased
+        // scaling of e_b by the realized sample size.
+        // Large enough that the MIN_SAMPLE stride clamp is inactive and
+        // the f-derived stride is what the kernel actually runs.
+        let data = mixed_points(3000);
+        let device = Device::k20c();
+        let cfg = HybridConfig {
+            batch: BatchConfig {
+                sample_fraction: 0.03,
+                ..BatchConfig::default()
+            },
+            ..HybridConfig::default()
+        };
+        let hybrid = HybridDbscan::new(&device, cfg);
+        let r = hybrid.run(&data, 0.6, 4).unwrap();
+        let batch = &cfg.batch;
+        assert_eq!(batch.stride_for(data.len()), 33);
+        let sample = batch.sample_size(data.len());
+        assert_eq!(sample, data.len().div_ceil(33));
+        let unbiased = (r.gpu.e_b as f64 * data.len() as f64 / sample as f64).ceil() as u64;
+        assert_eq!(r.gpu.plan.estimated_total, unbiased.max(1));
+        // The naive e_b / f scaling differs — the bias this fixes.
+        let naive = (r.gpu.e_b as f64 / 0.03).ceil() as u64;
+        assert_ne!(
+            naive, unbiased,
+            "test data must exercise the non-integral-stride bias"
+        );
     }
 
     #[test]

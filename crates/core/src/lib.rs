@@ -40,6 +40,9 @@
 //! * [`cuda_dclust`] — CUDA-DClust (Böhm et al., the paper's reference
 //!   [5]): parallel chain expansion with host-side collision resolution,
 //!   the original member of that family.
+//! * [`oracle`] — brute-force exact-DBSCAN ground truth (core/border/noise
+//!   classification, core components, validity and equivalence checks)
+//!   backing the differential test harness in `tests/differential/`.
 
 pub mod batch;
 pub mod cuda_dclust;
@@ -49,6 +52,7 @@ pub mod gdbscan;
 pub mod hybrid;
 pub mod kernels;
 pub mod optics;
+pub mod oracle;
 pub mod pipeline;
 pub mod reference;
 pub mod reuse;

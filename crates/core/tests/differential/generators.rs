@@ -1,0 +1,292 @@
+//! Adversarial input generators on an exact binary lattice.
+//!
+//! All coordinates and every ε are integer multiples of `Q = 1/128`, a
+//! power of two. Lattice arithmetic keeps the relevant floating-point
+//! operations exact (sums, differences, and squares of lattice values are
+//! far below 2⁵³), so "points at distance exactly ε" is a property we
+//! construct, not a coincidence — and the closed-ball boundary
+//! `dist² ≤ ε²` evaluates identically in every index and kernel.
+//!
+//! Eight families, each engineered at a known failure mode:
+//!
+//! | family                | targets                                        |
+//! |-----------------------|------------------------------------------------|
+//! | all-identical         | zero-extent grids, n ≥ minpts thresholds       |
+//! | collinear             | exact-ε chains, degenerate 1-D extents         |
+//! | single-dense-cell     | one over-full cell, shared-kernel batching     |
+//! | boundary-straddlers   | exact-ε pairs across grid cell edges           |
+//! | extreme-eps           | ε ≫ extent (one cell) and ε ≪ extent (max grid)|
+//! | clumps                | the "realistic" mixed case, clusters + noise   |
+//! | duplicates            | repeated coordinates inflating neighborhoods   |
+//! | eps-grid              | every point with exact-ε axis neighbors        |
+
+use proptest::TestRng;
+use spatial::Point2;
+
+/// The lattice quantum. Power of two: multiplication by `Q` is exact.
+pub const Q: f64 = 1.0 / 128.0;
+
+/// One differential test input.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub family: &'static str,
+    pub data: Vec<Point2>,
+    pub eps: f64,
+    pub minpts: usize,
+}
+
+/// A named generator family.
+pub struct Family {
+    pub name: &'static str,
+    pub generate: fn(&mut TestRng) -> Case,
+}
+
+/// Every family, in a fixed order (indexed by tests and the sweep).
+pub const FAMILIES: [Family; 8] = [
+    Family {
+        name: "all-identical",
+        generate: all_identical,
+    },
+    Family {
+        name: "collinear",
+        generate: collinear,
+    },
+    Family {
+        name: "single-dense-cell",
+        generate: single_dense_cell,
+    },
+    Family {
+        name: "boundary-straddlers",
+        generate: boundary_straddlers,
+    },
+    Family {
+        name: "extreme-eps",
+        generate: extreme_eps,
+    },
+    Family {
+        name: "clumps",
+        generate: clumps,
+    },
+    Family {
+        name: "duplicates",
+        generate: duplicates,
+    },
+    Family {
+        name: "eps-grid",
+        generate: eps_grid,
+    },
+];
+
+fn below(rng: &mut TestRng, n: u64) -> u64 {
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+fn range(rng: &mut TestRng, lo: i64, hi: i64) -> i64 {
+    lo + below(rng, (hi - lo) as u64) as i64
+}
+
+/// A lattice point from integer units.
+fn pt(ix: i64, iy: i64) -> Point2 {
+    Point2::new(ix as f64 * Q, iy as f64 * Q)
+}
+
+fn minpts(rng: &mut TestRng) -> usize {
+    range(rng, 1, 9) as usize
+}
+
+/// Every point identical: the grid has zero extent, every neighborhood
+/// is the whole database, and the n-vs-minpts threshold decides between
+/// "one all-core cluster" and "all noise".
+fn all_identical(rng: &mut TestRng) -> Case {
+    let n = range(rng, 1, 40) as usize;
+    let p = pt(range(rng, -500, 500), range(rng, -500, 500));
+    Case {
+        family: "all-identical",
+        data: vec![p; n],
+        eps: range(rng, 16, 256) as f64 * Q,
+        minpts: minpts(rng),
+    }
+}
+
+/// Points on a line, spaced at exactly ε, ε/2, or 2ε (the first makes
+/// every consecutive pair an exact boundary hit; the last disconnects
+/// everything). Degenerate 1-D extent stresses grid sizing.
+fn collinear(rng: &mut TestRng) -> Case {
+    let eps_units = 128i64; // eps = 1.0
+    let spacing = [eps_units / 2, eps_units, 2 * eps_units][below(rng, 3) as usize];
+    let n = range(rng, 2, 60) as usize;
+    let x0 = range(rng, -1000, 1000);
+    let y = range(rng, -1000, 1000);
+    let horizontal = below(rng, 2) == 0;
+    let data = (0..n as i64)
+        .map(|i| {
+            if horizontal {
+                pt(x0 + i * spacing, y)
+            } else {
+                pt(y, x0 + i * spacing)
+            }
+        })
+        .collect();
+    Case {
+        family: "collinear",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: minpts(rng),
+    }
+}
+
+/// Many points crowded into a region smaller than one grid cell, so a
+/// single cell holds (nearly) the whole database — the worst case for
+/// per-cell work distribution and for the shared kernel's one-block-
+/// per-cell schedule.
+fn single_dense_cell(rng: &mut TestRng) -> Case {
+    let eps_units = 256i64; // eps = 2.0, cell width 2.0
+    let n = range(rng, 4, 80) as usize;
+    let cx = range(rng, -500, 500);
+    let cy = range(rng, -500, 500);
+    // All offsets within ±eps/4: the whole set fits in one cell and is
+    // mutually within eps.
+    let data = (0..n)
+        .map(|_| {
+            pt(
+                cx + range(rng, -eps_units / 4, eps_units / 4 + 1),
+                cy + range(rng, -eps_units / 4, eps_units / 4 + 1),
+            )
+        })
+        .collect();
+    Case {
+        family: "single-dense-cell",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: minpts(rng),
+    }
+}
+
+/// Pairs at exactly ε placed so the two endpoints land in *different*
+/// grid cells — alternately axis-aligned and 3-4-5 diagonal. A grid that
+/// mis-assigns boundary coordinates, or any index using an open ball,
+/// splits these pairs.
+fn boundary_straddlers(rng: &mut TestRng) -> Case {
+    let eps_units = 128i64 * 5; // eps = 5.0, so (3,4) offsets stay on-lattice
+    let pairs = range(rng, 2, 12);
+    let mut data = Vec::new();
+    for k in 0..pairs {
+        // Anchor each pair on a cell-corner lattice (multiples of eps),
+        // far enough apart that distinct pairs do not interact.
+        let ax = k * 4 * eps_units;
+        let ay = range(rng, -2, 3) * 4 * eps_units;
+        let (dx, dy) = match below(rng, 4) {
+            0 => (eps_units, 0),
+            1 => (0, eps_units),
+            2 => (eps_units / 5 * 3, eps_units / 5 * 4), // (3,4,5)·eps/5
+            _ => (-eps_units / 5 * 4, eps_units / 5 * 3),
+        };
+        data.push(pt(ax, ay));
+        data.push(pt(ax + dx, ay + dy));
+        // Sometimes a third point collocated with the anchor, making the
+        // pair reach minpts = 3 and the far endpoint a border point.
+        if below(rng, 2) == 0 {
+            data.push(pt(ax, ay));
+        }
+    }
+    Case {
+        family: "boundary-straddlers",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: range(rng, 2, 4) as usize,
+    }
+}
+
+/// ε at the extremes relative to the data extent: either so large that
+/// one grid cell swallows everything (every point within ε of every
+/// other), or so small that no two distinct points are neighbors and the
+/// grid hits its size guard regime.
+fn extreme_eps(rng: &mut TestRng) -> Case {
+    let n = range(rng, 2, 50) as usize;
+    let data: Vec<Point2> = (0..n)
+        .map(|_| pt(range(rng, 0, 512), range(rng, 0, 512)))
+        .collect();
+    // Extent ≤ 4.0. Huge: eps = 1024·Q·2⁴ = 128.0 ≫ extent. Tiny: one
+    // quantum — only exact duplicates are neighbors.
+    let huge = below(rng, 2) == 0;
+    let eps = if huge { 16384.0 * Q } else { Q };
+    Case {
+        family: "extreme-eps",
+        data,
+        eps,
+        minpts: minpts(rng),
+    }
+}
+
+/// The realistic family: a few tight clumps plus scattered far-away
+/// points, all on the lattice. Exercises multi-cluster structure, border
+/// contention between nearby clumps, and genuine noise.
+fn clumps(rng: &mut TestRng) -> Case {
+    let eps_units = 128i64; // eps = 1.0
+    let k = range(rng, 1, 5);
+    let mut data = Vec::new();
+    for c in 0..k {
+        let cx = c * range(rng, 3, 8) * eps_units;
+        let cy = range(rng, -2, 3) * eps_units;
+        let m = range(rng, 3, 25) as usize;
+        for _ in 0..m {
+            data.push(pt(
+                cx + range(rng, -eps_units / 2, eps_units / 2 + 1),
+                cy + range(rng, -eps_units / 2, eps_units / 2 + 1),
+            ));
+        }
+    }
+    // Sparse outliers across the full extent.
+    for _ in 0..range(rng, 0, 8) {
+        data.push(pt(range(rng, -4000, 4000), range(rng, -4000, 4000)));
+    }
+    Case {
+        family: "clumps",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: minpts(rng),
+    }
+}
+
+/// Random base points with random duplicate injection: repeated
+/// coordinates inflate neighborhood counts and stress any code assuming
+/// distinct points (e.g. per-point degrees, chain seeding).
+fn duplicates(rng: &mut TestRng) -> Case {
+    let eps_units = 128i64;
+    let n = range(rng, 2, 40) as usize;
+    let mut data: Vec<Point2> = (0..n)
+        .map(|_| pt(range(rng, 0, 6 * eps_units), range(rng, 0, 6 * eps_units)))
+        .collect();
+    for _ in 0..range(rng, 1, 40) {
+        let i = below(rng, data.len() as u64) as usize;
+        data.push(data[i]);
+    }
+    Case {
+        family: "duplicates",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: minpts(rng),
+    }
+}
+
+/// A full lattice grid at exactly ε spacing: every interior point has
+/// exactly 5 closed-ball neighbors (itself + 4 axis neighbors, all at
+/// distance exactly ε). minpts is drawn around that threshold, so the
+/// core/border decision rides entirely on exact boundary arithmetic.
+fn eps_grid(rng: &mut TestRng) -> Case {
+    let eps_units = 128i64;
+    let w = range(rng, 2, 9);
+    let h = range(rng, 2, 9);
+    let mut data = Vec::new();
+    for i in 0..w {
+        for j in 0..h {
+            data.push(pt(i * eps_units, j * eps_units));
+        }
+    }
+    Case {
+        family: "eps-grid",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: range(rng, 3, 7) as usize,
+    }
+}

@@ -1,0 +1,40 @@
+//! The seeded randomized tier.
+//!
+//! `cargo test` runs a handful of cases (fast, deterministic). CI's long
+//! tier sets `DIFF_CASES=200` (see `scripts/ci.sh`, gated behind
+//! `DIFF_STRICT`); any count reproduces exactly because case `i` always
+//! draws from the same SplitMix64 seed.
+
+use crate::generators::FAMILIES;
+use crate::harness::assert_case;
+use crate::transforms;
+use proptest::TestRng;
+
+/// Default case count when `DIFF_CASES` is unset: one pass over the
+/// families, quick enough for the tier-1 suite.
+const DEFAULT_CASES: u64 = 8;
+
+#[test]
+fn seeded_sweep() {
+    let cases = std::env::var("DIFF_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_CASES);
+    for i in 0..cases {
+        let family = &FAMILIES[(i % FAMILIES.len() as u64) as usize];
+        let mut rng = TestRng::new(0xD1FF_CA5E ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let case = (family.generate)(&mut rng);
+        if cases > DEFAULT_CASES && i % 16 == 0 {
+            eprintln!(
+                "differential sweep: case {i}/{cases} (family `{}`, n = {})",
+                family.name,
+                case.data.len()
+            );
+        }
+        assert_case(&case);
+        // Every fourth case also goes through the metamorphic battery.
+        if i % 4 == 0 {
+            transforms::assert_all_invariant(&case, &mut rng);
+        }
+    }
+}

@@ -33,7 +33,13 @@ impl CellRange {
 
     #[inline]
     pub fn len(&self) -> usize {
-        (self.end - self.start) as usize
+        debug_assert!(
+            self.end >= self.start,
+            "malformed CellRange: end {} < start {}",
+            self.end,
+            self.start
+        );
+        (self.end.wrapping_sub(self.start)) as usize
     }
 
     #[inline]
@@ -70,10 +76,58 @@ pub struct GridGeometry {
 }
 
 impl GridGeometry {
-    /// Linear cell id containing `p` (coordinates clamped to the border
-    /// cells; only correct for points within the indexed extent).
+    /// Whether `p` lies within the grid's cell coverage
+    /// `[origin, origin + n·eps)` on both axes — the domain on which
+    /// [`Self::cell_of`] is meaningful. Every point of the indexed
+    /// database satisfies this by construction (the grid allocates one
+    /// cell of slack past the data AABB's max corner).
+    #[inline]
+    pub fn covers(&self, p: &Point2) -> bool {
+        let fx = (p.x - self.origin_x) / self.eps;
+        let fy = (p.y - self.origin_y) / self.eps;
+        // Every comparison is false for NaN coordinates, so a NaN point
+        // is (correctly) not covered.
+        fx >= 0.0 && fy >= 0.0 && fx < self.nx as f64 && fy < self.ny as f64
+    }
+
+    /// Linear cell id containing `p`, or `None` if `p` lies outside the
+    /// grid's cell coverage. Use this for query points that are not drawn
+    /// from the indexed database: an out-of-extent point has no cell, and
+    /// clamping it to a border cell would silently return a
+    /// wrong-but-plausible neighborhood.
+    #[inline]
+    pub fn try_cell_of(&self, p: &Point2) -> Option<usize> {
+        if !self.covers(p) {
+            return None;
+        }
+        Some(self.cell_of_unchecked(p))
+    }
+
+    /// Linear cell id containing `p`.
+    ///
+    /// `p` must lie within the grid's cell coverage (debug-asserted). In
+    /// release builds out-of-extent coordinates are clamped to the border
+    /// cells — wrong-but-plausible — so callers with untrusted query
+    /// points must use [`Self::try_cell_of`] instead.
     #[inline]
     pub fn cell_of(&self, p: &Point2) -> usize {
+        debug_assert!(
+            self.covers(p),
+            "cell_of called with out-of-extent point ({}, {}); \
+             grid covers [{}, {}) x [{}, {}) — use try_cell_of for \
+             untrusted query points",
+            p.x,
+            p.y,
+            self.origin_x,
+            self.origin_x + self.nx as f64 * self.eps,
+            self.origin_y,
+            self.origin_y + self.ny as f64 * self.eps,
+        );
+        self.cell_of_unchecked(p)
+    }
+
+    #[inline]
+    fn cell_of_unchecked(&self, p: &Point2) -> usize {
         let cx = (((p.x - self.origin_x) / self.eps) as usize).min(self.nx - 1);
         let cy = (((p.y - self.origin_y) / self.eps) as usize).min(self.ny - 1);
         cy * self.nx + cx
@@ -175,7 +229,8 @@ impl GridIndex {
         // ceiling on the simulated 5 GB device.
         assert!(
             nx.checked_mul(ny).is_some_and(|c| c <= 1 << 28),
-            "grid of {nx} x {ny} cells exceeds the 2^28-cell limit; eps {eps} is too              small relative to the data extent"
+            "grid of {nx} x {ny} cells exceeds the 2^28-cell limit; \
+             eps {eps} is too small relative to the data extent"
         );
 
         let mut index = GridIndex {
@@ -260,12 +315,19 @@ impl GridIndex {
         self.max_per_cell
     }
 
-    /// Linear cell id containing point `p` (which must lie within the
-    /// indexed extent; out-of-extent coordinates are clamped to the border
-    /// cells, which is only correct for query points drawn from `D`).
+    /// Linear cell id containing point `p`, which must lie within the
+    /// indexed extent (debug-asserted; see [`GridGeometry::cell_of`]).
+    /// For query points not drawn from `D`, use [`Self::try_cell_of`].
     #[inline]
     pub fn cell_of(&self, p: &Point2) -> usize {
         self.geom.cell_of(p)
+    }
+
+    /// Linear cell id containing `p`, or `None` if `p` lies outside the
+    /// grid's cell coverage (the safe variant for untrusted query points).
+    #[inline]
+    pub fn try_cell_of(&self, p: &Point2) -> Option<usize> {
+        self.geom.try_cell_of(p)
     }
 
     /// `(cx, cy)` coordinates of a linear cell id.
@@ -474,5 +536,53 @@ mod tests {
     #[should_panic]
     fn empty_database_panics() {
         let _ = GridIndex::build(&[], 1.0);
+    }
+
+    #[test]
+    fn try_cell_of_rejects_out_of_extent_points() {
+        let data = demo_points(); // extent [0.1, 5.0] x [0.1, 2.5]
+        let g = GridIndex::build(&data, 0.5);
+        // Inside: agrees with cell_of for every indexed point.
+        for p in &data {
+            assert_eq!(g.try_cell_of(p), Some(g.cell_of(p)));
+        }
+        // Outside on each side (and far outside): caught, not mis-binned.
+        for q in [
+            Point2::new(-1.0, 1.0),
+            Point2::new(1.0, -1.0),
+            Point2::new(100.0, 1.0),
+            Point2::new(1.0, 100.0),
+            Point2::new(f64::NAN, 1.0),
+        ] {
+            assert_eq!(g.try_cell_of(&q), None, "query {q:?} must be rejected");
+        }
+        // A point in the slack cell past the data max corner is still
+        // covered (the grid allocates one cell of slack by construction).
+        let geom = g.geometry();
+        let slack = Point2::new(
+            geom.origin_x + (geom.nx as f64 - 0.5) * geom.eps,
+            geom.origin_y + (geom.ny as f64 - 0.5) * geom.eps,
+        );
+        assert!(g.try_cell_of(&slack).is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out-of-extent")]
+    fn cell_of_catches_out_of_extent_query_in_debug() {
+        // The silent-clamp bug: an out-of-extent query used to be clamped
+        // into a border cell and answered with a wrong-but-plausible
+        // neighborhood. It must now be caught.
+        let data = demo_points();
+        let g = GridIndex::build(&data, 0.5);
+        let _ = g.cell_of(&Point2::new(-50.0, -50.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "malformed CellRange")]
+    fn malformed_cell_range_len_is_caught() {
+        let r = CellRange { start: 5, end: 3 };
+        let _ = r.len();
     }
 }

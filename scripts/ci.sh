@@ -3,9 +3,12 @@
 #
 #   scripts/ci.sh            # build + test + fmt (+ clippy, advisory)
 #   CLIPPY_STRICT=1 scripts/ci.sh   # make clippy failures fatal too
+#   DIFF_STRICT=1 scripts/ci.sh     # make the long differential sweep fatal
 #
-# clippy is advisory by default because lint sets shift across
-# toolchains; build, tests, and formatting are always fatal.
+# clippy and the 200-case differential sweep are advisory by default —
+# lint sets shift across toolchains, and the sweep is the long randomized
+# tier of a harness whose quick tier already gates fatally; build, tests,
+# and formatting are always fatal.
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +33,14 @@ step "build" cargo build --workspace --release
 # identical results either way; both configurations must stay green.
 step "test (RAYON_NUM_THREADS=1)" env RAYON_NUM_THREADS=1 cargo test --workspace -q
 step "test (RAYON_NUM_THREADS=4)" env RAYON_NUM_THREADS=4 cargo test --workspace -q
+# Quick differential tier (crates/core/tests/differential): all five
+# clusterers and all three indexes against the brute-force oracle, at
+# both pool sizes. Part of the workspace suite above, repeated here
+# explicitly so a differential regression is named in the CI output.
+step "differential quick (RAYON_NUM_THREADS=1)" \
+    env RAYON_NUM_THREADS=1 cargo test -p hybrid-dbscan-core --test differential -q
+step "differential quick (RAYON_NUM_THREADS=4)" \
+    env RAYON_NUM_THREADS=4 cargo test -p hybrid-dbscan-core --test differential -q
 step "fmt" cargo fmt --all --check
 
 echo "==> clippy: cargo clippy --workspace --all-targets -- -D warnings"
@@ -40,6 +51,16 @@ elif [ "${CLIPPY_STRICT:-0}" = "1" ]; then
     failed=1
 else
     echo "==> clippy: FAILED (advisory only; set CLIPPY_STRICT=1 to enforce)"
+fi
+
+echo "==> differential sweep: DIFF_CASES=200 cargo test --test differential seeded_sweep"
+if env DIFF_CASES=200 cargo test -p hybrid-dbscan-core --test differential seeded_sweep -q; then
+    echo "==> differential sweep: OK"
+elif [ "${DIFF_STRICT:-0}" = "1" ]; then
+    echo "==> differential sweep: FAILED (strict)"
+    failed=1
+else
+    echo "==> differential sweep: FAILED (advisory only; set DIFF_STRICT=1 to enforce)"
 fi
 
 exit "$failed"

@@ -135,10 +135,13 @@ proptest! {
     }
 
     /// The batch planner always leaves headroom: expected per-batch size
-    /// never exceeds the buffer, for any estimate.
+    /// never exceeds the buffer, for any estimate and database size.
     #[test]
-    fn batch_plan_has_headroom(e_b in 0u64..10_000_000_000) {
-        let plan = BatchConfig::default().plan(e_b);
+    fn batch_plan_has_headroom(
+        e_b in 0u64..10_000_000_000,
+        n in 1usize..100_000_000,
+    ) {
+        let plan = BatchConfig::default().plan(e_b, n);
         prop_assert!(plan.n_batches >= 1);
         prop_assert!(plan.buffer_items >= 1);
         prop_assert!(plan.expected_batch_size() <= plan.buffer_items);

@@ -19,6 +19,12 @@ pub struct Options {
     pub datasets: Vec<String>,
     /// Trials to average response times over (paper: 3).
     pub trials: usize,
+    /// Untimed warmup runs before the timed trials (`bench` only).
+    pub warmup: usize,
+    /// Baseline document to compare the benchmark suite against
+    /// (`bench --compare <path>`; regressions are advisory unless
+    /// `BENCH_STRICT=1`).
+    pub compare: Option<PathBuf>,
     /// When set, experiments also write their rows as CSV files here
     /// (for plotting).
     pub csv_dir: Option<PathBuf>,
@@ -36,6 +42,8 @@ impl Default for Options {
             scale: 0.02,
             datasets: Vec::new(),
             trials: 1,
+            warmup: 1,
+            compare: None,
             csv_dir: None,
             trace: None,
             metrics: None,
@@ -66,6 +74,16 @@ impl Options {
                 "--trials" => {
                     let v = args.get(i + 1).ok_or("--trials needs a value")?;
                     opts.trials = v.parse().map_err(|_| format!("bad trials '{v}'"))?;
+                    i += 2;
+                }
+                "--warmup" => {
+                    let v = args.get(i + 1).ok_or("--warmup needs a value")?;
+                    opts.warmup = v.parse().map_err(|_| format!("bad warmup '{v}'"))?;
+                    i += 2;
+                }
+                "--compare" => {
+                    let v = args.get(i + 1).ok_or("--compare needs a baseline path")?;
+                    opts.compare = Some(PathBuf::from(v));
                     i += 2;
                 }
                 "--quick" => {

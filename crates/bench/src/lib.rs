@@ -12,8 +12,10 @@ pub mod figure3;
 pub mod figure4;
 pub mod figure5;
 pub mod figure6;
+pub mod regress;
 pub mod scenarios;
 pub mod schedule;
+pub mod stats;
 pub mod table1;
 pub mod table2;
 pub mod threads;

@@ -14,6 +14,8 @@
 //!   figure6   reuse speedup over per-variant reference, S3
 //!   schedule  Gantt chart of the overlapped 3-stream batch schedule
 //!   threads   host-pool scaling sweep on S1 (writes BENCH_threads.json)
+//!   bench     continuous-benchmark suite with regression gating
+//!             (writes BENCH_suite.json; --compare <baseline.json>)
 //!   ablations bandwidth / stream-count / block-size / index / alpha / split
 //!   all       everything above in paper order
 //! ```
@@ -24,8 +26,8 @@
 
 use bench::common::Options;
 use bench::{
-    ablations, figure2, figure3, figure4, figure5, figure6, scenarios, schedule, table1, table2,
-    threads,
+    ablations, figure2, figure3, figure4, figure5, figure6, regress, scenarios, schedule, table1,
+    table2, threads,
 };
 
 fn run_ablations(opts: &Options) {
@@ -52,7 +54,7 @@ fn main() {
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         println!(
-            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|threads|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule.\n\nthreads sweeps the rayon pool over {{1, 2, 4, all}} on the S1 workload and\nwrites BENCH_threads.json (set the process-wide default pool size with\nRAYON_NUM_THREADS)."
+            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|threads|bench|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--warmup N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]] [--compare BASELINE]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule.\n\nthreads sweeps the rayon pool over {{1, 2, 4, all}} on the S1 workload and\nwrites BENCH_threads.json (set the process-wide default pool size with\nRAYON_NUM_THREADS).\n\nbench runs the fixed S1/S2/S3 benchmark suite (--warmup untimed runs,\nthen --trials timed trials per workload) and writes BENCH_suite.json\n(median/MAD/IQR per stage plus device counters). --compare BASELINE\nflags stages whose median regressed beyond the baseline's noise\nthreshold; advisory unless BENCH_STRICT=1. Baselines live under\nresults/baselines/ (see DESIGN.md, \"Benchmark methodology\")."
         );
         return;
     }
@@ -79,6 +81,12 @@ fn main() {
         "figure6" => figure6::print(&opts),
         "schedule" => schedule::print(&opts),
         "threads" => threads::print(&opts),
+        "bench" => {
+            let code = regress::print(&opts);
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
         "ablations" => run_ablations(&opts),
         "all" => {
             table1::print(&opts);

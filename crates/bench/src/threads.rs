@@ -146,12 +146,7 @@ fn render_json(
     w.field_uint("trials", opts.trials.max(1) as u64);
     w.end_object();
     w.field_uint("host_threads", rayon::current_num_threads() as u64);
-    w.key("bitwise_identical");
-    w.buf.push_str(if bitwise_identical(rows) {
-        "true"
-    } else {
-        "false"
-    });
+    w.field_bool("bitwise_identical", bitwise_identical(rows));
     w.key("sweep");
     w.begin_array();
     for r in rows {
@@ -255,5 +250,50 @@ mod tests {
         assert!(n > 0);
         assert_eq!(rows.len(), thread_counts().len());
         assert!(bitwise_identical(&rows), "rows: {rows:?}");
+    }
+
+    #[test]
+    fn rendered_json_parses_with_shared_parser() {
+        // Regression: `bitwise_identical` used to be pushed raw past the
+        // writer's comma state, so the following `"sweep"` key had no
+        // separator and the emitted document was malformed.
+        use obs::json::{parse, JsonValue};
+        let rows = vec![
+            SweepRow {
+                threads: 1,
+                build_table_s: 1.0,
+                dbscan_s: 0.1,
+                disjoint_set_s: 0.2,
+                modeled_bits: u64::MAX, // largest bit pattern must survive
+                modeled_s: 0.05,
+                clusters: 7,
+                result_pairs: 1234,
+            },
+            SweepRow {
+                threads: 4,
+                build_table_s: 0.5,
+                dbscan_s: 0.1,
+                disjoint_set_s: 0.1,
+                modeled_bits: u64::MAX,
+                modeled_s: 0.05,
+                clusters: 7,
+                result_pairs: 1234,
+            },
+        ];
+        let opts = Options::default();
+        let doc = parse(&render_json("SW1", 0.2, 1000, &opts, &rows)).expect("valid JSON");
+        assert_eq!(
+            doc.get("bitwise_identical").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        let sweep = doc.get("sweep").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[1].get("threads").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(
+            doc.get("workload")
+                .and_then(|w| w.get("dataset"))
+                .and_then(JsonValue::as_str),
+            Some("SW1")
+        );
     }
 }

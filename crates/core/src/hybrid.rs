@@ -638,18 +638,7 @@ impl HybridDbscan {
             KernelChoice::Global => "gpucalc_global",
             KernelChoice::Shared => "gpucalc_shared",
         };
-        m.counter_add(
-            &format!("kernel.{kernel_name}.launches"),
-            batch_profile.launches,
-        );
-        m.gauge_set(
-            &format!("kernel.{kernel_name}.mean_occupancy"),
-            batch_profile.mean_occupancy(),
-        );
-        m.gauge_set(
-            &format!("kernel.{kernel_name}.gmem_gbps"),
-            batch_profile.global_throughput_gbps(),
-        );
+        obs::bench::record_kernel_profile(m, kernel_name, batch_profile);
         m.counter_add("kernel.estimation.launches", 1);
         m.gauge_set("kernel.estimation.occupancy", est_report.occupancy);
         let est_secs = est_report.duration.as_secs();

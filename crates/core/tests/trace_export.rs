@@ -1,236 +1,17 @@
 //! Smoke test for the Chrome trace exporter: build a neighbor table on a
 //! tiny dataset with a recorder attached, export the trace, and re-parse
-//! the JSON with a minimal in-test parser to check the trace-event
-//! contract (field presence, lane metadata, per-lane non-overlap).
+//! the JSON with the shared `obs::json` parser (the same parser the
+//! benchmark harness uses to load baselines) to check the trace-event
+//! contract: field presence, lane metadata, per-lane non-overlap, and
+//! that every emitted document (trace + metrics snapshot) round-trips.
 
 use gpu_sim::device::Device;
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
+use obs::json::{parse, JsonValue};
 use obs::Recorder;
 use spatial::Point2;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-
-// ---------------------------------------------------------------------
-// Minimal JSON parser — just enough for the exporter's output. Numbers
-// become f64, everything lives in one enum. No serde available offline.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> u8 {
-        self.skip_ws();
-        assert!(self.pos < self.bytes.len(), "unexpected end of JSON");
-        self.bytes[self.pos]
-    }
-
-    fn expect(&mut self, c: u8) {
-        let got = self.peek();
-        assert_eq!(got as char, c as char, "at byte {}", self.pos);
-        self.pos += 1;
-    }
-
-    fn value(&mut self) -> Json {
-        match self.peek() {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Json::Str(self.string()),
-            b't' => {
-                self.literal("true");
-                Json::Bool(true)
-            }
-            b'f' => {
-                self.literal("false");
-                Json::Bool(false)
-            }
-            b'n' => {
-                self.literal("null");
-                Json::Null
-            }
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, lit: &str) {
-        self.skip_ws();
-        assert!(
-            self.bytes[self.pos..].starts_with(lit.as_bytes()),
-            "bad literal"
-        );
-        self.pos += lit.len();
-    }
-
-    fn object(&mut self) -> Json {
-        self.expect(b'{');
-        let mut map = BTreeMap::new();
-        if self.peek() == b'}' {
-            self.pos += 1;
-            return Json::Obj(map);
-        }
-        loop {
-            let key = self.string();
-            self.expect(b':');
-            map.insert(key, self.value());
-            match self.peek() {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Json::Obj(map);
-                }
-                c => panic!("expected , or }} in object, got {}", c as char),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Json {
-        self.expect(b'[');
-        let mut items = Vec::new();
-        if self.peek() == b']' {
-            self.pos += 1;
-            return Json::Arr(items);
-        }
-        loop {
-            items.push(self.value());
-            match self.peek() {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Json::Arr(items);
-                }
-                c => panic!("expected , or ] in array, got {}", c as char),
-            }
-        }
-    }
-
-    fn string(&mut self) -> String {
-        self.expect(b'"');
-        let mut out = String::new();
-        loop {
-            let c = self.bytes[self.pos];
-            self.pos += 1;
-            match c {
-                b'"' => return out,
-                b'\\' => {
-                    let esc = self.bytes[self.pos];
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).unwrap();
-                            let code = u32::from_str_radix(hex, 16).unwrap();
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        e => panic!("unsupported escape \\{}", e as char),
-                    }
-                }
-                c => {
-                    // Multi-byte UTF-8: copy the raw continuation bytes.
-                    if c < 0x80 {
-                        out.push(c as char);
-                    } else {
-                        let start = self.pos - 1;
-                        while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
-                            self.pos += 1;
-                        }
-                        out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
-                    }
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Json {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(
-                self.bytes[self.pos],
-                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
-            )
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        Json::Num(
-            text.parse()
-                .unwrap_or_else(|_| panic!("bad number {text:?}")),
-        )
-    }
-}
-
-fn parse(s: &str) -> Json {
-    let mut p = Parser::new(s);
-    let v = p.value();
-    p.skip_ws();
-    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON document");
-    v
-}
-
-// ---------------------------------------------------------------------
-// The smoke test proper.
-// ---------------------------------------------------------------------
 
 /// Deterministic tiny dataset: a grid of small clusters, enough points to
 /// produce several batches under a small buffer budget.
@@ -256,11 +37,11 @@ fn exported_trace_is_valid_and_lanes_do_not_overlap() {
     hybrid.build_table(&data, 0.9).expect("build_table");
 
     let json_text = rec.chrome_trace_json();
-    let doc = parse(&json_text);
+    let doc = parse(&json_text).expect("trace must be valid JSON");
 
     let events = doc
         .get("traceEvents")
-        .and_then(Json::as_arr)
+        .and_then(JsonValue::as_arr)
         .expect("traceEvents array");
     assert!(!events.is_empty());
 
@@ -269,24 +50,24 @@ fn exported_trace_is_valid_and_lanes_do_not_overlap() {
     let mut device_events: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
     let mut host_events = 0usize;
     for ev in events {
-        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
-        assert!(ev.get("name").and_then(Json::as_str).is_some(), "name");
-        let pid = ev.get("pid").and_then(Json::as_f64).expect("pid") as u64;
-        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        let ph = ev.get("ph").and_then(JsonValue::as_str).expect("ph");
+        assert!(ev.get("name").and_then(JsonValue::as_str).is_some(), "name");
+        let pid = ev.get("pid").and_then(JsonValue::as_u64).expect("pid");
+        let tid = ev.get("tid").and_then(JsonValue::as_u64).expect("tid");
         match ph {
             "M" => {
-                if ev.get("name").and_then(Json::as_str) == Some("thread_name") && pid == 0 {
+                if ev.get("name").and_then(JsonValue::as_str) == Some("thread_name") && pid == 0 {
                     let lane = ev
                         .get("args")
                         .and_then(|a| a.get("name"))
-                        .and_then(Json::as_str)
+                        .and_then(JsonValue::as_str)
                         .expect("thread_name args.name");
                     lane_names.push(lane.to_string());
                 }
             }
             "X" => {
-                let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
-                let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+                let ts = ev.get("ts").and_then(JsonValue::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(JsonValue::as_f64).expect("dur");
                 assert!(ts >= 0.0 && dur >= 0.0);
                 if pid == 0 {
                     device_events.entry(tid).or_default().push((ts, dur));
@@ -327,32 +108,47 @@ fn exported_trace_is_valid_and_lanes_do_not_overlap() {
     }
 
     // The metrics export parses too and carries the batch telemetry.
-    let metrics = parse(&rec.metrics_json());
+    let metrics = parse(&rec.metrics_json()).expect("metrics must be valid JSON");
     let counters = metrics.get("counters").expect("counters object");
     assert!(
         counters
             .get("batch.result_pairs")
-            .and_then(Json::as_f64)
+            .and_then(JsonValue::as_f64)
             .unwrap_or(0.0)
             > 0.0
     );
     let gauges = metrics.get("gauges").expect("gauges object");
     assert!(gauges
         .get("batch.estimation_accuracy")
-        .and_then(Json::as_f64)
+        .and_then(JsonValue::as_f64)
         .is_some());
+    // The kernel-profile wiring (obs::bench::record_kernel_profile) lands
+    // in the same snapshot.
+    assert!(gauges
+        .get("kernel.gpucalc_global.gmem_gbps")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0)
+        .is_finite());
+    assert!(
+        counters
+            .get("kernel.gpucalc_global.launches")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
 }
 
 #[test]
 fn trace_json_escapes_are_reversible() {
     // Round-trip a span name with every escaped character class through
-    // the exporter and the in-test parser.
+    // the exporter and the shared parser.
     let rec = Recorder::new();
     drop(rec.span("weird \"name\"\\with\nescapes\tand\u{1}ctrl", "test"));
-    let doc = parse(&rec.chrome_trace_json());
-    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let doc = parse(&rec.chrome_trace_json()).expect("valid JSON");
+    let events = doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
     let found = events.iter().any(|e| {
-        e.get("name").and_then(Json::as_str) == Some("weird \"name\"\\with\nescapes\tand\u{1}ctrl")
+        e.get("name").and_then(JsonValue::as_str)
+            == Some("weird \"name\"\\with\nescapes\tand\u{1}ctrl")
     });
     assert!(found, "escaped span name must round-trip");
 }

@@ -53,19 +53,54 @@ impl KernelProfile {
         }
     }
 
+    /// The derived headline numbers as one plain struct — the contract
+    /// between the profiler and the observability layer (`obs` records
+    /// these into its metrics registry and the benchmark suite exports
+    /// them as per-workload device counters).
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            launches: self.launches,
+            total_threads: self.total_threads,
+            total_blocks: self.total_blocks,
+            time_ms: self.total_duration.as_millis(),
+            mean_occupancy: self.mean_occupancy(),
+            gmem_gbps: self.global_throughput_gbps(),
+            atomics: self.counters.atomics,
+        }
+    }
+
     /// A compact single-line summary, suitable for the experiment harness.
     pub fn summary(&self) -> String {
+        let s = self.stats();
         format!(
             "launches={} threads={} blocks={} time={:.3} ms occ={:.2} gmem={:.1} GB/s atomics={}",
-            self.launches,
-            self.total_threads,
-            self.total_blocks,
-            self.total_duration.as_millis(),
-            self.mean_occupancy(),
-            self.global_throughput_gbps(),
-            self.counters.atomics,
+            s.launches,
+            s.total_threads,
+            s.total_blocks,
+            s.time_ms,
+            s.mean_occupancy,
+            s.gmem_gbps,
+            s.atomics,
         )
     }
+}
+
+/// Derived headline metrics of a [`KernelProfile`] (the simulated
+/// equivalent of an `nvprof` summary row): everything is a plain number so
+/// downstream consumers need no knowledge of `SimDuration` or `Counters`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileStats {
+    pub launches: u64,
+    pub total_threads: u64,
+    pub total_blocks: u64,
+    /// Total modeled kernel time, milliseconds.
+    pub time_ms: f64,
+    /// Duration-weighted mean occupancy.
+    pub mean_occupancy: f64,
+    /// Achieved global-memory throughput over kernel time, GB/s.
+    pub gmem_gbps: f64,
+    /// Global atomic operations.
+    pub atomics: u64,
 }
 
 #[cfg(test)]
@@ -113,6 +148,20 @@ mod tests {
         assert_eq!(p.mean_occupancy(), 0.0);
         assert_eq!(p.global_throughput_gbps(), 0.0);
         assert!(p.summary().contains("launches=0"));
+    }
+
+    #[test]
+    fn stats_match_accessors() {
+        let mut p = KernelProfile::new();
+        p.record(&report(1024, 1.0, 1.0));
+        p.record(&report(1024, 3.0, 0.5));
+        let s = p.stats();
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.total_threads, 2048);
+        assert!((s.time_ms - 4.0).abs() < 1e-9);
+        assert!((s.mean_occupancy - p.mean_occupancy()).abs() < 1e-12);
+        assert!((s.gmem_gbps - p.global_throughput_gbps()).abs() < 1e-12);
+        assert_eq!(s.atomics, p.counters.atomics);
     }
 
     #[test]

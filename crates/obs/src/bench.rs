@@ -1,0 +1,378 @@
+//! Schema for the continuous-benchmark documents (`BENCH_suite.json` and
+//! the baselines under `results/baselines/`).
+//!
+//! The benchmark harness (`crates/bench::regress`) produces a
+//! [`BenchDoc`] per run: one [`WorkloadResult`] per suite workload, each
+//! carrying per-stage wall/modeled statistics ([`StageStats`]), per-kernel
+//! device counters (re-using [`gpu_sim::profiler::ProfileStats`], the
+//! profiler → observability contract), and scalar metrics. Documents are
+//! schema-versioned and round-trip exactly through [`crate::json`]:
+//! `parse(doc.to_json()).to_json() == doc.to_json()`, which is what makes
+//! checked-in baselines diffable and the regression gate trustworthy.
+
+use crate::json::{self, JsonValue, JsonWriter};
+use crate::metrics::Metrics;
+use gpu_sim::profiler::{KernelProfile, ProfileStats};
+use std::collections::BTreeMap;
+
+/// Document identifier; bump [`SCHEMA_VERSION`] on incompatible changes.
+pub const SCHEMA: &str = "hybrid-dbscan/bench-suite";
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Robust summary of one stage's per-trial durations (milliseconds).
+///
+/// Medians and MAD rather than means: a single descheduled trial must not
+/// move the number CI compares against a baseline. The MAD is what the
+/// regression gate's noise threshold is derived from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageStats {
+    pub trials: u64,
+    pub median_ms: f64,
+    pub mean_ms: f64,
+    /// Median absolute deviation from the median.
+    pub mad_ms: f64,
+    /// Interquartile range (Q3 − Q1).
+    pub iqr_ms: f64,
+    pub min_ms: f64,
+    pub max_ms: f64,
+}
+
+/// One suite workload's results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadResult {
+    /// Stable identifier, e.g. `s1/sw1-eps0.2/global`; the compare key.
+    pub id: String,
+    /// Paper scenario (`S1`/`S2`/`S3`).
+    pub scenario: String,
+    pub dataset: String,
+    /// Kernel variant (`global`/`shared`).
+    pub kernel: String,
+    pub eps: f64,
+    pub minpts: u64,
+    /// Points actually clustered — baselines taken at a different scale
+    /// are incomparable, and the gate detects that through this field.
+    pub points: u64,
+    /// Stage name → summary (`build_table`, `dbscan`, `disjoint_set`,
+    /// `modeled`).
+    pub stages: BTreeMap<String, StageStats>,
+    /// Device-counter profiles, e.g. `kernels` (all launches of the run).
+    pub counters: BTreeMap<String, ProfileStats>,
+    /// Scalar outputs and telemetry (clusters, result_pairs, batch
+    /// percentiles, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A full benchmark-suite document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchDoc {
+    pub version: u64,
+    pub scale: f64,
+    pub trials: u64,
+    pub warmup: u64,
+    pub host_threads: u64,
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl BenchDoc {
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", SCHEMA);
+        w.field_uint("version", self.version);
+        w.field_float("scale", self.scale);
+        w.field_uint("trials", self.trials);
+        w.field_uint("warmup", self.warmup);
+        w.field_uint("host_threads", self.host_threads);
+        w.key("workloads");
+        w.begin_array();
+        for wl in &self.workloads {
+            w.begin_object();
+            w.field_str("id", &wl.id);
+            w.field_str("scenario", &wl.scenario);
+            w.field_str("dataset", &wl.dataset);
+            w.field_str("kernel", &wl.kernel);
+            w.field_float("eps", wl.eps);
+            w.field_uint("minpts", wl.minpts);
+            w.field_uint("points", wl.points);
+            w.key("stages");
+            w.begin_object();
+            for (name, s) in &wl.stages {
+                w.key(name);
+                w.begin_object();
+                w.field_uint("trials", s.trials);
+                w.field_float("median_ms", s.median_ms);
+                w.field_float("mean_ms", s.mean_ms);
+                w.field_float("mad_ms", s.mad_ms);
+                w.field_float("iqr_ms", s.iqr_ms);
+                w.field_float("min_ms", s.min_ms);
+                w.field_float("max_ms", s.max_ms);
+                w.end_object();
+            }
+            w.end_object();
+            w.key("counters");
+            w.begin_object();
+            for (name, p) in &wl.counters {
+                w.key(name);
+                w.begin_object();
+                w.field_uint("launches", p.launches);
+                w.field_uint("total_threads", p.total_threads);
+                w.field_uint("total_blocks", p.total_blocks);
+                w.field_float("time_ms", p.time_ms);
+                w.field_float("mean_occupancy", p.mean_occupancy);
+                w.field_float("gmem_gbps", p.gmem_gbps);
+                w.field_uint("atomics", p.atomics);
+                w.end_object();
+            }
+            w.end_object();
+            w.key("metrics");
+            w.begin_object();
+            for (name, v) in &wl.metrics {
+                w.field_float(name, *v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parse a document produced by [`Self::to_json`] (e.g. a checked-in
+    /// baseline). Schema and version are validated; field errors name the
+    /// offending key.
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = req_str(&v, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unexpected schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let version = req_u64(&v, "version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (supported: {SCHEMA_VERSION})"
+            ));
+        }
+        let mut doc = BenchDoc {
+            version,
+            scale: req_f64(&v, "scale")?,
+            trials: req_u64(&v, "trials")?,
+            warmup: req_u64(&v, "warmup")?,
+            host_threads: req_u64(&v, "host_threads")?,
+            workloads: Vec::new(),
+        };
+        let workloads = v
+            .get("workloads")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing 'workloads' array")?;
+        for wl in workloads {
+            let mut out = WorkloadResult {
+                id: req_str(wl, "id")?.to_string(),
+                scenario: req_str(wl, "scenario")?.to_string(),
+                dataset: req_str(wl, "dataset")?.to_string(),
+                kernel: req_str(wl, "kernel")?.to_string(),
+                eps: req_f64(wl, "eps")?,
+                minpts: req_u64(wl, "minpts")?,
+                points: req_u64(wl, "points")?,
+                ..WorkloadResult::default()
+            };
+            let stages = wl
+                .get("stages")
+                .and_then(JsonValue::as_obj)
+                .ok_or("missing 'stages' object")?;
+            for (name, s) in stages {
+                out.stages.insert(
+                    name.clone(),
+                    StageStats {
+                        trials: req_u64(s, "trials")?,
+                        median_ms: req_f64(s, "median_ms")?,
+                        mean_ms: req_f64(s, "mean_ms")?,
+                        mad_ms: req_f64(s, "mad_ms")?,
+                        iqr_ms: req_f64(s, "iqr_ms")?,
+                        min_ms: req_f64(s, "min_ms")?,
+                        max_ms: req_f64(s, "max_ms")?,
+                    },
+                );
+            }
+            let counters = wl
+                .get("counters")
+                .and_then(JsonValue::as_obj)
+                .ok_or("missing 'counters' object")?;
+            for (name, p) in counters {
+                out.counters.insert(
+                    name.clone(),
+                    ProfileStats {
+                        launches: req_u64(p, "launches")?,
+                        total_threads: req_u64(p, "total_threads")?,
+                        total_blocks: req_u64(p, "total_blocks")?,
+                        time_ms: req_f64(p, "time_ms")?,
+                        mean_occupancy: req_f64(p, "mean_occupancy")?,
+                        gmem_gbps: req_f64(p, "gmem_gbps")?,
+                        atomics: req_u64(p, "atomics")?,
+                    },
+                );
+            }
+            let metrics = wl
+                .get("metrics")
+                .and_then(JsonValue::as_obj)
+                .ok_or("missing 'metrics' object")?;
+            for (name, v) in metrics {
+                out.metrics.insert(
+                    name.clone(),
+                    v.as_f64()
+                        .ok_or_else(|| format!("metric '{name}' not a number"))?,
+                );
+            }
+            doc.workloads.push(out);
+        }
+        Ok(doc)
+    }
+
+    /// Look up a workload by id.
+    pub fn workload(&self, id: &str) -> Option<&WorkloadResult> {
+        self.workloads.iter().find(|w| w.id == id)
+    }
+}
+
+fn req_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+/// Record a kernel profile's headline counters into a metrics registry
+/// under `kernel.<name>.*` — the single wiring point between
+/// [`gpu_sim::profiler::KernelProfile`] and [`Metrics`], shared by the
+/// pipeline instrumentation (`HybridDbscan::record_gpu_phase`) and the
+/// benchmark suite.
+pub fn record_kernel_profile(m: &Metrics, name: &str, profile: &KernelProfile) {
+    let s = profile.stats();
+    m.counter_add(&format!("kernel.{name}.launches"), s.launches);
+    m.counter_add(&format!("kernel.{name}.atomics"), s.atomics);
+    m.gauge_set(&format!("kernel.{name}.mean_occupancy"), s.mean_occupancy);
+    m.gauge_set(&format!("kernel.{name}.gmem_gbps"), s.gmem_gbps);
+    m.gauge_set(&format!("kernel.{name}.time_ms"), s.time_ms);
+    m.gauge_set(
+        &format!("kernel.{name}.total_threads"),
+        s.total_threads as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> BenchDoc {
+        let mut wl = WorkloadResult {
+            id: "s1/sw1-eps0.2/global".into(),
+            scenario: "S1".into(),
+            dataset: "SW1".into(),
+            kernel: "global".into(),
+            eps: 0.2,
+            minpts: 4,
+            points: 37292,
+            ..WorkloadResult::default()
+        };
+        wl.stages.insert(
+            "build_table".into(),
+            StageStats {
+                trials: 3,
+                median_ms: 2410.5,
+                mean_ms: 2400.25,
+                mad_ms: 12.5,
+                iqr_ms: 25.0,
+                min_ms: 2380.0,
+                max_ms: 2450.0,
+            },
+        );
+        wl.counters.insert(
+            "kernels".into(),
+            ProfileStats {
+                launches: 4,
+                total_threads: 1024,
+                total_blocks: 4,
+                time_ms: 96.5,
+                mean_occupancy: 0.85,
+                gmem_gbps: 120.25,
+                atomics: 17,
+            },
+        );
+        wl.metrics.insert("clusters".into(), 64.0);
+        wl.metrics.insert("result_pairs".into(), 17113506.0);
+        BenchDoc {
+            version: SCHEMA_VERSION,
+            scale: 0.02,
+            trials: 3,
+            warmup: 1,
+            host_threads: 4,
+            workloads: vec![wl],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let doc = sample_doc();
+        let text = doc.to_json();
+        let parsed = BenchDoc::parse(&text).expect("parse own output");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_json(), text, "emission must be a fixed point");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_version() {
+        let text = sample_doc().to_json();
+        let wrong = text.replace(SCHEMA, "something/else");
+        assert!(BenchDoc::parse(&wrong).unwrap_err().contains("schema"));
+        let wrong = text.replace(r#""version":1"#, r#""version":999"#);
+        assert!(BenchDoc::parse(&wrong).unwrap_err().contains("version"));
+        assert!(BenchDoc::parse("{}").is_err());
+        assert!(BenchDoc::parse("not json").is_err());
+    }
+
+    #[test]
+    fn workload_lookup_by_id() {
+        let doc = sample_doc();
+        assert!(doc.workload("s1/sw1-eps0.2/global").is_some());
+        assert!(doc.workload("nope").is_none());
+    }
+
+    #[test]
+    fn record_kernel_profile_names_match_pipeline_contract() {
+        use gpu_sim::kernel::KernelReport;
+        use gpu_sim::launch::LaunchConfig;
+        use gpu_sim::SimDuration;
+
+        let mut p = KernelProfile::new();
+        p.record(&KernelReport {
+            config: LaunchConfig::for_elements(1024, 256),
+            threads_launched: 1024,
+            duration: SimDuration::from_millis(2.0),
+            counters: gpu_sim::cost::Counters {
+                flops: 1024,
+                global_read_bytes: 8192,
+                atomics: 3,
+                ..Default::default()
+            },
+            occupancy: 0.75,
+        });
+        let m = Metrics::new();
+        record_kernel_profile(&m, "gpucalc_global", &p);
+        let s = m.snapshot();
+        assert_eq!(s.counters["kernel.gpucalc_global.launches"], 1);
+        assert_eq!(s.counters["kernel.gpucalc_global.atomics"], 3);
+        assert!(s.gauges["kernel.gpucalc_global.mean_occupancy"] > 0.0);
+        assert!(s.gauges["kernel.gpucalc_global.gmem_gbps"] > 0.0);
+        assert!(s.gauges["kernel.gpucalc_global.time_ms"] > 0.0);
+    }
+}

@@ -1,11 +1,15 @@
-//! Minimal hand-rolled JSON emission.
+//! Minimal hand-rolled JSON emission and parsing.
 //!
-//! The workspace builds without crates.io access, so JSON is written by
-//! hand rather than through serde_json. Only the small surface the
-//! exporters need: string escaping and an object/array writer over a
-//! `String` buffer. Numbers are emitted with enough precision for
-//! microsecond timestamps (`{:.3}`); non-finite floats degrade to `0`.
+//! The workspace builds without crates.io access, so JSON is written (and
+//! read back) by hand rather than through serde_json. Only the small
+//! surface the exporters and the benchmark harness need: string escaping,
+//! an object/array writer over a private `String` buffer, and a
+//! recursive-descent parser ([`parse`]) used to load baseline documents
+//! and to round-trip-validate every document the workspace emits.
+//! Numbers are emitted with enough precision for microsecond timestamps
+//! (`{:.3}`); non-finite floats degrade to `0`.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escape `s` into a JSON string literal (without surrounding quotes).
@@ -27,8 +31,13 @@ pub fn escape_into(out: &mut String, s: &str) {
 
 /// Incremental writer for one JSON object or array level. Tracks whether a
 /// comma is needed; values are appended through the typed methods.
+///
+/// The buffer is private by design: raw pushes bypass the comma state and
+/// produce malformed documents (this exact bug shipped a malformed
+/// `BENCH_threads.json` before [`JsonWriter::field_bool`] existed). Every
+/// value kind the workspace emits has a typed method.
 pub struct JsonWriter {
-    pub buf: String,
+    buf: String,
     needs_comma: Vec<bool>,
 }
 
@@ -95,6 +104,11 @@ impl JsonWriter {
         let _ = write!(self.buf, "{v}");
     }
 
+    pub fn boolean(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
     /// Float with microsecond-grade precision; NaN/inf degrade to 0.
     pub fn float(&mut self, v: f64) {
         self.pre_value();
@@ -121,6 +135,11 @@ impl JsonWriter {
         self.float(v);
     }
 
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.boolean(v);
+    }
+
     pub fn finish(self) -> String {
         debug_assert!(self.needs_comma.is_empty(), "unbalanced begin/end");
         self.buf
@@ -130,6 +149,279 @@ impl JsonWriter {
 impl Default for JsonWriter {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are `f64` — sufficient for every document
+/// the workspace emits (3-decimal floats and counts far below 2^53); the
+/// one u64 bit-pattern field (`modeled_time_bits`) is validated for
+/// parseability only, never re-read through this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonParseError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parse a complete JSON document (trailing garbage is an error).
+pub fn parse(s: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after JSON document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonParseError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonParseError> {
+        let got = self.peek()?;
+        if got != c {
+            return Err(self.err(format!("expected '{}', got '{}'", c as char, got as char)));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.literal("false").map(|_| JsonValue::Bool(false)),
+            b'n' => self.literal("null").map(|_| JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), JsonParseError> {
+        self.skip_ws();
+        if !self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            return Err(self.err(format!("expected literal '{lit}'")));
+        }
+        self.pos += lit.len();
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                c => return Err(self.err(format!("expected ',' or '}}', got '{}'", c as char))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                c => return Err(self.err(format!("expected ',' or ']', got '{}'", c as char))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err(format!("bad \\u escape '{hex}'")))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos = end;
+                        }
+                        e => return Err(self.err(format!("unsupported escape \\{}", e as char))),
+                    }
+                }
+                c => {
+                    // Multi-byte UTF-8: copy the raw continuation bytes.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                            self.pos += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        out.push_str(chunk);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(format!("bad number '{text}'")))
     }
 }
 
@@ -167,5 +459,76 @@ mod tests {
         w.float(f64::INFINITY);
         w.end_array();
         assert_eq!(w.finish(), "[0,0]");
+    }
+
+    #[test]
+    fn bool_fields_keep_comma_state() {
+        // Regression: the threads experiment used to push `true` past the
+        // writer, so the following key lacked its separating comma.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_bool("a", true);
+        w.field_bool("b", false);
+        w.field_uint("c", 1);
+        w.end_object();
+        let text = w.finish();
+        assert_eq!(text, r#"{"a":true,"b":false,"c":1}"#);
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let doc = r#"{"s":"x\n\"y\"","n":-1.5e2,"b":[true,false,null],"o":{},"u":7}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x\n\"y\""));
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(-150.0));
+        assert_eq!(v.get("u").and_then(JsonValue::as_u64), Some(7));
+        let arr = v.get("b").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[2], JsonValue::Null);
+        assert!(v.get("o").and_then(JsonValue::as_obj).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            r#"{"a":1 "b":2}"#, // the missing-comma bug this PR fixes
+            r#"{"a":1,}"#,
+            r#"[1,2"#,
+            r#"{"a"}"#,
+            r#"truefalse"#,
+            r#"{"a":1} x"#,
+            "",
+        ] {
+            assert!(parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_reports_error_position() {
+        let err = parse(r#"{"a":1 "b":2}"#).unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(err.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_parser() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "weird \"name\"\\with\nescapes");
+        w.field_bool("flag", true);
+        w.key("xs");
+        w.begin_array();
+        w.float(1.25);
+        w.uint(u64::MAX);
+        w.end_array();
+        w.end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("weird \"name\"\\with\nescapes")
+        );
+        assert_eq!(v.get("flag").and_then(JsonValue::as_bool), Some(true));
     }
 }

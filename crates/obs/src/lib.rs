@@ -20,6 +20,7 @@
 //! Instrumentation is opt-in and cheap when absent: producers hold an
 //! `Option<Arc<Recorder>>` and skip all recording when it is `None`.
 
+pub mod bench;
 pub mod chrome;
 pub mod json;
 pub mod metrics;

@@ -63,6 +63,28 @@ impl Histogram {
     pub fn bucket_upper(k: usize) -> f64 {
         (k as f64).exp2()
     }
+
+    /// Approximate `p`-quantile (`p` in `[0, 1]`) from the log-scale
+    /// buckets: the upper bound of the first bucket whose cumulative count
+    /// reaches `ceil(p * count)`, clamped into the observed `[min, max]`
+    /// range so single-sample and narrow histograms report exact values.
+    /// Returns 0 on an empty histogram. Used by the benchmark summaries
+    /// (`repro bench`) for per-batch distribution percentiles.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_upper(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[derive(Default)]
@@ -252,6 +274,68 @@ mod tests {
         assert_eq!(h.mean(), 4.0);
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 10.0);
+    }
+
+    #[test]
+    fn bucket_upper_edges() {
+        // Bucket 0 covers everything up to 1.0; its upper bound is 2^0.
+        assert_eq!(Histogram::bucket_upper(0), 1.0);
+        assert_eq!(Histogram::bucket_upper(1), 2.0);
+        assert_eq!(Histogram::bucket_upper(10), 1024.0);
+        // The clamp bucket: huge values all land here and its bound is
+        // finite (2^63), so exports never print inf.
+        let top = Histogram::bucket_upper(N_BUCKETS - 1);
+        assert!(top.is_finite());
+        assert_eq!(top, (N_BUCKETS as f64 - 1.0).exp2());
+        assert_eq!(Histogram::bucket_for(f64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn mean_on_empty_and_single_sample() {
+        let empty = Metrics::new().snapshot();
+        assert!(empty.histograms.is_empty());
+        let m = Metrics::new();
+        m.observe("h", 0.0);
+        let s0 = m.snapshot();
+        assert_eq!(s0.histograms["h"].mean(), 0.0);
+        assert_eq!(s0.histograms["h"].count, 1);
+
+        let m = Metrics::new();
+        m.observe("one", 42.0);
+        let h = m.snapshot().histograms["one"].clone();
+        assert_eq!(h.mean(), 42.0);
+        assert_eq!(h.min, 42.0);
+        assert_eq!(h.max, 42.0);
+    }
+
+    #[test]
+    fn percentile_empty_single_and_spread() {
+        let m = Metrics::new();
+        assert_eq!(Histogram::new().percentile(0.5), 0.0);
+
+        // Single sample: every percentile is that sample (the [min, max]
+        // clamp makes the bucket bound exact).
+        m.observe("one", 42.0);
+        let h = m.snapshot().histograms["one"].clone();
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(p), 42.0, "p={p}");
+        }
+
+        // Spread samples across distinct buckets: 10 values 2^1..2^10.
+        let m = Metrics::new();
+        for k in 1..=10 {
+            m.observe("h", (k as f64).exp2());
+        }
+        let h = m.snapshot().histograms["h"].clone();
+        assert_eq!(h.percentile(0.1), 2.0);
+        assert_eq!(h.percentile(0.5), 32.0);
+        assert_eq!(h.percentile(1.0), 1024.0);
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(h.percentile(-1.0), 2.0);
+        assert_eq!(h.percentile(2.0), 1024.0);
+        // Monotone in p.
+        let ps: Vec<f64> = (0..=20).map(|i| h.percentile(i as f64 / 20.0)).collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 #   scripts/ci.sh            # build + test + fmt (+ clippy, advisory)
 #   CLIPPY_STRICT=1 scripts/ci.sh   # make clippy failures fatal too
 #   DIFF_STRICT=1 scripts/ci.sh     # make the long differential sweep fatal
+#   BENCH_STRICT=1 scripts/ci.sh    # make benchmark regressions fatal
 #
 # clippy and the 200-case differential sweep are advisory by default —
 # lint sets shift across toolchains, and the sweep is the long randomized
@@ -41,6 +42,17 @@ step "differential quick (RAYON_NUM_THREADS=1)" \
     env RAYON_NUM_THREADS=1 cargo test -p hybrid-dbscan-core --test differential -q
 step "differential quick (RAYON_NUM_THREADS=4)" \
     env RAYON_NUM_THREADS=4 cargo test -p hybrid-dbscan-core --test differential -q
+# Benchmark smoke tier: one tiny-scale trial of the full S1/S2/S3 suite,
+# compared against the checked-in baseline (results/baselines/smoke.json).
+# The step is fatal if the suite crashes or emits a document the shared
+# parser rejects; regression gating is decided inside the binary, which
+# exits nonzero on a deterministic-stage regression only under
+# BENCH_STRICT=1 (wall-clock drift is always advisory — see DESIGN.md,
+# "Benchmark methodology & regression policy").
+step "bench smoke" ./target/release/repro bench \
+    --scale 0.002 --trials 1 --warmup 0 --csv target/ci-bench \
+    --compare results/baselines/smoke.json
+
 step "fmt" cargo fmt --all --check
 
 echo "==> clippy: cargo clippy --workspace --all-targets -- -D warnings"

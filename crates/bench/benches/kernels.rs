@@ -9,18 +9,18 @@ use hybrid_dbscan_core::kernels::{
     GpuCalcGlobal, GpuCalcShared, NeighborCountKernel, NeighborPair,
 };
 use spatial::presort::spatial_sort;
-use spatial::GridIndex;
+use spatial::{GridIndex, PointStore};
 
 /// Conservative result-set capacity: per-cell neighborhood bound.
 fn capacity_bound(grid: &GridIndex) -> usize {
     grid.non_empty_cells()
         .iter()
         .map(|&h| {
-            let m = grid.cells()[h as usize].len();
+            let m = grid.range_of(h as usize).len();
             let (adj, n) = grid.neighbor_cells(h as usize);
             let nb: usize = adj[..n]
                 .iter()
-                .map(|&a| grid.cells()[a as usize].len())
+                .map(|&a| grid.range_of(a as usize).len())
                 .sum();
             m * nb
         })
@@ -39,15 +39,16 @@ fn bench_kernels(c: &mut Criterion) {
         let data = spatial_sort(&spec.generate(0.002).points);
         let eps = 0.3;
         let grid = GridIndex::build(&data, eps);
+        let store = PointStore::from_points(&data);
         let bound = capacity_bound(&grid) + 64;
 
-        group.bench_with_input(BenchmarkId::new("global", name), &data, |b, data| {
+        group.bench_with_input(BenchmarkId::new("global", name), &data, |b, _data| {
             b.iter_batched(
                 || DeviceAppendBuffer::<NeighborPair>::new(&device, bound).unwrap(),
                 |result| {
                     let kernel = GpuCalcGlobal {
-                        data,
-                        grid_cells: grid.cells(),
+                        points: store.view(),
+                        grid: grid.cells_view(),
                         lookup: grid.lookup(),
                         geom: grid.geometry(),
                         eps,
@@ -62,13 +63,13 @@ fn bench_kernels(c: &mut Criterion) {
             );
         });
 
-        group.bench_with_input(BenchmarkId::new("shared", name), &data, |b, data| {
+        group.bench_with_input(BenchmarkId::new("shared", name), &data, |b, _data| {
             b.iter_batched(
                 || DeviceAppendBuffer::<NeighborPair>::new(&device, bound).unwrap(),
                 |result| {
                     let kernel = GpuCalcShared {
-                        data,
-                        grid_cells: grid.cells(),
+                        points: store.view(),
+                        grid: grid.cells_view(),
                         lookup: grid.lookup(),
                         geom: grid.geometry(),
                         eps,
@@ -81,12 +82,12 @@ fn bench_kernels(c: &mut Criterion) {
             );
         });
 
-        group.bench_with_input(BenchmarkId::new("count", name), &data, |b, data| {
+        group.bench_with_input(BenchmarkId::new("count", name), &data, |b, _data| {
             b.iter(|| {
                 let counter = DeviceCounter::new(&device).unwrap();
                 let kernel = NeighborCountKernel {
-                    data,
-                    grid_cells: grid.cells(),
+                    points: store.view(),
+                    grid: grid.cells_view(),
                     lookup: grid.lookup(),
                     geom: grid.geometry(),
                     eps,

@@ -25,7 +25,7 @@ use hybrid_dbscan_core::dbscan::{Dbscan, GridSource, KdTreeSource, RTreeSource};
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
 use hybrid_dbscan_core::kernels::{GpuCalcGlobal, GpuCalcShared, NeighborPair};
 use spatial::presort::spatial_sort;
-use spatial::{GridIndex, KdTree, RTree};
+use spatial::{GridIndex, KdTree, PointStore, RTree};
 use std::time::Instant;
 
 /// On-GPU competitor comparison: Hybrid-DBSCAN vs G-DBSCAN vs
@@ -178,15 +178,16 @@ pub fn blocksize(opts: &Options) {
         let data = spatial_sort(&cache.get(name).points);
         let eps = 0.2;
         let grid = GridIndex::build(&data, eps);
+        let store = PointStore::from_points(&data);
         let bound: usize = grid
             .non_empty_cells()
             .iter()
             .map(|&h| {
-                let m = grid.cells()[h as usize].len();
+                let m = grid.range_of(h as usize).len();
                 let (adj, n) = grid.neighbor_cells(h as usize);
                 let nb: usize = adj[..n]
                     .iter()
-                    .map(|&a| grid.cells()[a as usize].len())
+                    .map(|&a| grid.range_of(a as usize).len())
                     .sum();
                 m * nb
             })
@@ -194,8 +195,8 @@ pub fn blocksize(opts: &Options) {
         for block in [32u32, 64, 128, 256, 512] {
             let mut result = DeviceAppendBuffer::<NeighborPair>::new(&device, bound + 64).unwrap();
             let kernel = GpuCalcShared {
-                data: &data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,
@@ -318,15 +319,16 @@ pub fn hybrid_split(opts: &Options) {
         let data = spatial_sort(&cache.get(name).points);
         let eps = 0.2;
         let grid = GridIndex::build(&data, eps);
+        let store = PointStore::from_points(&data);
         let bound: usize = grid
             .non_empty_cells()
             .iter()
             .map(|&h| {
-                let m = grid.cells()[h as usize].len();
+                let m = grid.range_of(h as usize).len();
                 let (adj, n) = grid.neighbor_cells(h as usize);
                 let nb: usize = adj[..n]
                     .iter()
-                    .map(|&a| grid.cells()[a as usize].len())
+                    .map(|&a| grid.range_of(a as usize).len())
                     .sum();
                 m * nb
             })
@@ -336,8 +338,8 @@ pub fn hybrid_split(opts: &Options) {
         // Pure Global.
         let global = {
             let gk = GpuCalcGlobal {
-                data: &data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,
@@ -354,8 +356,8 @@ pub fn hybrid_split(opts: &Options) {
         // Pure Shared.
         let shared = {
             let sk = GpuCalcShared {
-                data: &data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,
@@ -375,14 +377,14 @@ pub fn hybrid_split(opts: &Options) {
             .non_empty_cells()
             .iter()
             .copied()
-            .filter(|&h| grid.cells()[h as usize].len() >= DENSE_AT)
+            .filter(|&h| grid.range_of(h as usize).len() >= DENSE_AT)
             .collect();
         let shared_part = if dense.is_empty() {
             None
         } else {
             let k = GpuCalcShared {
-                data: &data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,
@@ -394,8 +396,8 @@ pub fn hybrid_split(opts: &Options) {
         // Masked Global pass over the sparse remainder.
         let sparse_report = {
             let mk = GpuCalcGlobal {
-                data: &data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,

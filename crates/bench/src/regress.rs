@@ -184,14 +184,21 @@ fn run_workload(
     out
 }
 
-/// Run the full suite.
+/// Run the full suite: the S1/S2/S3 pipeline workloads plus the
+/// hot-path micro workload ([`crate::micro`]).
 pub fn run_suite(opts: &Options) -> BenchDoc {
     let device = Device::k20c();
     let mut cache = DatasetCache::new(opts.scale);
-    let workloads = SUITE
+    let mut workloads: Vec<WorkloadResult> = SUITE
         .iter()
         .map(|w| run_workload(&device, &mut cache, w, opts.warmup, opts.trials))
         .collect();
+    workloads.push(crate::micro::run_micro(
+        &device,
+        &mut cache,
+        opts.warmup,
+        opts.trials,
+    ));
     BenchDoc {
         version: SCHEMA_VERSION,
         scale: opts.scale,
@@ -360,7 +367,7 @@ fn print_doc(doc: &BenchDoc) {
         "GB/s",
         "atomics",
     ]);
-    for wl in &doc.workloads {
+    for wl in doc.workloads.iter().filter(|wl| wl.scenario != "micro") {
         let stage = |name: &str| wl.stages.get(name).cloned().unwrap_or_default();
         let counters = wl.counters.get("kernels").copied().unwrap_or_default();
         t.row(vec![
@@ -377,6 +384,27 @@ fn print_doc(doc: &BenchDoc) {
         ]);
     }
     t.print();
+
+    let micro: Vec<_> = doc
+        .workloads
+        .iter()
+        .filter(|wl| wl.scenario == "micro")
+        .collect();
+    if !micro.is_empty() {
+        println!("\n-- Micro stages (host wall-clock, advisory) --");
+        let mut t = TextTable::new(&["Workload", "stage", "median", "±MAD"]);
+        for wl in micro {
+            for (stage, s) in &wl.stages {
+                t.row(vec![
+                    wl.id.clone(),
+                    stage.clone(),
+                    fmt_ms(s.median_ms),
+                    fmt_ms(s.mad_ms),
+                ]);
+            }
+        }
+        t.print();
+    }
 }
 
 fn print_compare(report: &CompareReport, baseline_path: &std::path::Path) {
@@ -641,11 +669,18 @@ mod tests {
             ..Options::default()
         };
         let doc = run_suite(&opts);
-        assert_eq!(doc.workloads.len(), SUITE.len());
+        // The suite workloads plus the hot-path micro workload.
+        assert_eq!(doc.workloads.len(), SUITE.len() + 1);
         let text = doc.to_json();
         let parsed = BenchDoc::parse(&text).expect("suite output must parse");
         assert_eq!(parsed.to_json(), text, "round-trip must be exact");
         for wl in &doc.workloads {
+            if wl.scenario == "micro" {
+                for stage in crate::micro::MICRO_STAGES {
+                    assert!(wl.stages.contains_key(*stage), "{}: {stage}", wl.id);
+                }
+                continue;
+            }
             for stage in ["build_table", "dbscan", "disjoint_set", "modeled"] {
                 let s = wl
                     .stages
@@ -660,7 +695,7 @@ mod tests {
             assert!(wl.metrics["result_pairs"] > 0.0);
         }
         let report = compare(&parsed, &doc);
-        assert!(report.checked >= 4 * SUITE.len());
+        assert!(report.checked >= 4 * SUITE.len() + crate::micro::MICRO_STAGES.len());
         assert!(report.regressions().is_empty(), "{report:?}");
         assert!(report.incomparable.is_empty());
     }

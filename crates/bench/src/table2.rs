@@ -13,7 +13,7 @@ use gpu_sim::Device;
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
 use hybrid_dbscan_core::kernels::{GpuCalcGlobal, GpuCalcShared, NeighborPair};
 use spatial::presort::spatial_sort;
-use spatial::GridIndex;
+use spatial::{GridIndex, PointStore};
 
 /// The published settings and results: (dataset, ε, global ms, global
 /// n_GPU, shared ms, shared n_GPU).
@@ -47,6 +47,7 @@ impl Row {
 pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
     let sorted = spatial_sort(points);
     let grid = GridIndex::build(&sorted, eps);
+    let store = PointStore::from_points(&sorted);
 
     // Capacity: exact pair count is unknown; bound generously via the
     // per-cell neighborhood bound (same bound the shared batcher uses).
@@ -54,11 +55,11 @@ pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
         .non_empty_cells()
         .iter()
         .map(|&h| {
-            let m = grid.cells()[h as usize].len();
+            let m = grid.range_of(h as usize).len();
             let (adj, n) = grid.neighbor_cells(h as usize);
             let nb: usize = adj[..n]
                 .iter()
-                .map(|&a| grid.cells()[a as usize].len())
+                .map(|&a| grid.range_of(a as usize).len())
                 .sum();
             m * nb
         })
@@ -68,8 +69,8 @@ pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
         .expect("result bound exceeds device memory; lower --scale");
 
     let global_kernel = GpuCalcGlobal {
-        data: &sorted,
-        grid_cells: grid.cells(),
+        points: store.view(),
+        grid: grid.cells_view(),
         lookup: grid.lookup(),
         geom: grid.geometry(),
         eps,
@@ -85,8 +86,8 @@ pub fn measure(device: &Device, points: &[spatial::Point2], eps: f64) -> Row {
     result.reset();
 
     let shared_kernel = GpuCalcShared {
-        data: &sorted,
-        grid_cells: grid.cells(),
+        points: store.view(),
+        grid: grid.cells_view(),
         lookup: grid.lookup(),
         geom: grid.geometry(),
         eps,

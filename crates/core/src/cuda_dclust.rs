@@ -27,6 +27,8 @@
 //! Hybrid-DBSCAN is conservative.
 
 use crate::dbscan::{Clustering, PointLabel};
+use crate::hybrid::GridBuffers;
+use crate::kernels::{load_cell_range, scan_cell_range};
 use gpu_sim::device::Device;
 use gpu_sim::error::DeviceError;
 use gpu_sim::kernel::{BlockCtx, BlockKernel};
@@ -35,8 +37,8 @@ use gpu_sim::memory::{DeviceBuffer, RawAlloc};
 use gpu_sim::profiler::KernelProfile;
 use gpu_sim::time::SimDuration;
 use parking_lot::Mutex;
-use spatial::grid::CellRange;
-use spatial::{GridGeometry, Point2};
+use spatial::grid::CellsView;
+use spatial::{GridGeometry, Point2, PointStore, PointsView};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Sentinel: point not yet owned by any chain.
@@ -50,8 +52,8 @@ const UNOWNED: u32 = u32::MAX;
 /// points for the chain and recording core-core contacts with foreign
 /// chains as collisions.
 struct ChainExpandKernel<'a> {
-    data: &'a [Point2],
-    grid_cells: &'a [CellRange],
+    points: PointsView<'a>,
+    grid: CellsView<'a>,
     lookup: &'a [u32],
     geom: GridGeometry,
     eps: f64,
@@ -74,22 +76,24 @@ impl ChainExpandKernel<'_> {
     /// Neighbor ids of `p` within ε via the grid, charging `t`.
     fn neighbors(&self, t: &mut gpu_sim::kernel::ThreadCtx, pi: u32, out: &mut Vec<u32>) {
         let eps_sq = self.eps * self.eps;
-        let p = self.data[pi as usize];
+        let (qx, qy) = (self.points.xs[pi as usize], self.points.ys[pi as usize]);
         t.read_global::<Point2>(1);
         t.charge_flops(10);
-        let (cells, n_cells) = self.geom.neighbor_cells(self.geom.cell_of(&p));
+        let (cells, n_cells) = self
+            .geom
+            .neighbor_cells(self.geom.cell_of(&self.points.get(pi as usize)));
         for &cell in &cells[..n_cells] {
-            t.read_global::<CellRange>(1);
-            let range = self.grid_cells[cell as usize];
-            for k in range.start..range.end {
-                t.read_global::<u32>(1);
-                t.read_global::<Point2>(1);
-                t.charge_flops(5);
-                let cand = self.lookup[k as usize];
-                if p.distance_sq(&self.data[cand as usize]) <= eps_sq {
-                    out.push(cand);
-                }
-            }
+            let range = load_cell_range(t, &self.grid, cell);
+            scan_cell_range(
+                t,
+                self.points,
+                self.lookup,
+                range,
+                qx,
+                qy,
+                eps_sq,
+                |_, hits| out.extend_from_slice(hits),
+            );
         }
     }
 }
@@ -207,14 +211,17 @@ pub fn cuda_dclust(
     let max_chains = max_chains.clamp(1, 1024);
     let n = data.len();
     let grid = spatial::GridIndex::build(data, eps);
+    let store = PointStore::from_points(data);
     let geom = grid.geometry();
 
     let mut profile = KernelProfile::new();
     let mut total = SimDuration::ZERO;
 
     // Device-resident inputs.
-    let (d_buf, up_d) = DeviceBuffer::from_host(device, data, false)?;
-    let (g_buf, up_g) = DeviceBuffer::from_host(device, grid.cells(), false)?;
+    // D stays one Point2 upload (the SoA mirror is host-side layout);
+    // the buffer is held for device-memory accounting.
+    let (_d_buf, up_d) = DeviceBuffer::from_host(device, data, false)?;
+    let (g_buf, up_g) = GridBuffers::upload(device, &grid)?;
     let (a_buf, up_a) = DeviceBuffer::from_host(device, grid.lookup(), false)?;
     total += up_d + up_g + up_a;
     // Ownership + degree arrays live on the device.
@@ -254,8 +261,8 @@ pub fn cuda_dclust(
         let chain_ids: Vec<u32> = active.iter().map(|(c, _)| *c).collect();
         let next: Mutex<Vec<Vec<u32>>> = Mutex::new(vec![Vec::new(); active.len()]);
         let kernel = ChainExpandKernel {
-            data: d_buf.as_slice(),
-            grid_cells: g_buf.as_slice(),
+            points: store.view(),
+            grid: g_buf.view(),
             lookup: a_buf.as_slice(),
             geom,
             eps,

@@ -45,8 +45,9 @@ use gpu_sim::time::{SimDuration, SimTime};
 use gpu_sim::timeline::{Engine, Timeline};
 use obs::Recorder;
 use serde::{Deserialize, Serialize};
+use spatial::grid::{CellRange, CellsView};
 use spatial::presort::spatial_sort_permutation;
-use spatial::{GridIndex, Point2};
+use spatial::{GridIndex, Point2, PointStore};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -233,6 +234,57 @@ type BatchPassOutput = (
     Vec<usize>,
 );
 
+/// Device-resident `G`, in either layout. Dense is the single flat range
+/// array (one H2D transfer, exactly as before the sparse layout existed);
+/// sparse uploads the non-empty keys and their ranges as two buffers —
+/// O(|D|) device memory instead of O(nx·ny).
+pub(crate) enum GridBuffers {
+    Dense {
+        ranges: DeviceBuffer<CellRange>,
+    },
+    Sparse {
+        keys: DeviceBuffer<u32>,
+        ranges: DeviceBuffer<CellRange>,
+    },
+}
+
+impl GridBuffers {
+    /// Upload `G` to the device, returning the summed H2D transfer time.
+    pub(crate) fn upload(
+        device: &Device,
+        grid: &GridIndex,
+    ) -> Result<(Self, SimDuration), DeviceError> {
+        match grid.cells_view() {
+            CellsView::Dense(ranges) => {
+                let (buf, t) = DeviceBuffer::from_host(device, ranges, false)?;
+                Ok((GridBuffers::Dense { ranges: buf }, t))
+            }
+            CellsView::Sparse { keys, ranges } => {
+                let (k_buf, t_k) = DeviceBuffer::from_host(device, keys, false)?;
+                let (r_buf, t_r) = DeviceBuffer::from_host(device, ranges, false)?;
+                Ok((
+                    GridBuffers::Sparse {
+                        keys: k_buf,
+                        ranges: r_buf,
+                    },
+                    t_k + t_r,
+                ))
+            }
+        }
+    }
+
+    /// The device-resident `G` as the layout-agnostic kernel view.
+    pub(crate) fn view(&self) -> CellsView<'_> {
+        match self {
+            GridBuffers::Dense { ranges } => CellsView::Dense(ranges.as_slice()),
+            GridBuffers::Sparse { keys, ranges } => CellsView::Sparse {
+                keys: keys.as_slice(),
+                ranges: ranges.as_slice(),
+            },
+        }
+    }
+}
+
 /// The Hybrid-DBSCAN engine (Algorithm 4).
 pub struct HybridDbscan {
     device: Device,
@@ -342,15 +394,20 @@ impl HybridDbscan {
         let perm = spatial_sort_permutation(data);
         let sorted: Vec<Point2> = perm.apply(data);
 
-        // ConstructIndex(D, eps) on the host.
+        // ConstructIndex(D, eps) on the host, plus the SoA coordinate
+        // mirror the kernels' inner loops scan (host-side layout only —
+        // the device upload below stays the one Point2 array).
         let grid = GridIndex::build(&sorted, eps);
+        let store = PointStore::from_points(&sorted);
         let geom = grid.geometry();
         drop(index_span);
 
-        // H2D uploads of D, G, A (pageable: one-off inputs).
+        // H2D uploads of D, G, A (pageable: one-off inputs). D stays one
+        // Point2 transfer — the SoA mirror is host-side layout only — and
+        // the buffer is held for device-memory accounting.
         let upload_span = rec.map(|r| r.span("h2d_upload", "host"));
-        let (d_buf, up_d) = DeviceBuffer::from_host(&self.device, &sorted, false)?;
-        let (g_buf, up_g) = DeviceBuffer::from_host(&self.device, grid.cells(), false)?;
+        let (_d_buf, up_d) = DeviceBuffer::from_host(&self.device, &sorted, false)?;
+        let (g_buf, up_g) = GridBuffers::upload(&self.device, &grid)?;
         let (a_buf, up_a) = DeviceBuffer::from_host(&self.device, grid.lookup(), false)?;
         drop(upload_span);
 
@@ -362,8 +419,8 @@ impl HybridDbscan {
         // assumed one drift apart and bias a_b.
         let stride = cfg.batch.stride_for(sorted.len());
         let count_kernel = NeighborCountKernel {
-            data: d_buf.as_slice(),
-            grid_cells: g_buf.as_slice(),
+            points: store.view(),
+            grid: g_buf.view(),
             lookup: a_buf.as_slice(),
             geom,
             eps,
@@ -441,9 +498,8 @@ impl HybridDbscan {
         let mut retries = 0;
         let (builder, chains, profile, per_batch_pairs) = loop {
             match self.run_batches(
-                &sorted,
+                &store,
                 &grid,
-                &d_buf,
                 &g_buf,
                 &a_buf,
                 eps,
@@ -672,10 +728,9 @@ impl HybridDbscan {
     #[allow(clippy::too_many_arguments)]
     fn run_batches(
         &self,
-        sorted: &[Point2],
+        store: &PointStore,
         grid: &GridIndex,
-        d_buf: &DeviceBuffer<Point2>,
-        g_buf: &DeviceBuffer<spatial::grid::CellRange>,
+        g_buf: &GridBuffers,
         a_buf: &DeviceBuffer<u32>,
         eps: f64,
         plan: &BatchPlan,
@@ -686,7 +741,7 @@ impl HybridDbscan {
         let cfg = &self.config;
         let n_b = shared_batches.map_or(plan.n_batches, |b| b.len().max(1));
         let n_buffers = dev_buffers.len();
-        let builder = NeighborTableBuilder::new(eps, sorted.len(), n_b);
+        let builder = NeighborTableBuilder::new(eps, store.len(), n_b);
         let mut chains: Vec<Vec<OpSpec>> = Vec::with_capacity(n_b);
         let mut profile = KernelProfile::new();
         let mut per_batch_pairs: Vec<usize> = Vec::with_capacity(n_b);
@@ -699,8 +754,8 @@ impl HybridDbscan {
             let report = match cfg.kernel {
                 KernelChoice::Global => {
                     let kernel = GpuCalcGlobal {
-                        data: d_buf.as_slice(),
-                        grid_cells: g_buf.as_slice(),
+                        points: store.view(),
+                        grid: g_buf.view(),
                         lookup: a_buf.as_slice(),
                         geom: grid.geometry(),
                         eps,
@@ -721,8 +776,8 @@ impl HybridDbscan {
                         continue;
                     }
                     let kernel = GpuCalcShared {
-                        data: d_buf.as_slice(),
-                        grid_cells: g_buf.as_slice(),
+                        points: store.view(),
+                        grid: g_buf.view(),
                         lookup: a_buf.as_slice(),
                         geom: grid.geometry(),
                         eps,
@@ -748,13 +803,13 @@ impl HybridDbscan {
             // sequence.
             let sort_time = thrust::sort_by_key(&self.device, buf.as_filled_mut_slice());
 
-            // D2H into the pinned staging area. The staging buffer is
-            // reused by batch l + n_streams, which is why the values must
-            // be copied out (Algorithm 4's rationale for buffer B).
-            let (pairs, d2h_time) = buf.to_host(true);
-            per_batch_pairs.push(pairs.len());
+            // D2H straight into the pinned staging area. The staging
+            // buffer is reused by batch l + n_streams, which is why the
+            // values must be copied out (Algorithm 4's rationale for
+            // buffer B).
             let stage = &mut pinned[l % n_buffers];
-            let staged_len = stage.write_from(&pairs);
+            let (staged_len, d2h_time) = buf.download_into(stage);
+            per_batch_pairs.push(staged_len);
 
             // Host: copy the values out of staging into T. The chain
             // op's duration is modeled from the staged pair count, never
@@ -789,14 +844,14 @@ impl HybridDbscan {
 /// by construction. Returns the batches and the capacity actually needed
 /// (which exceeds `capacity` only when a single cell's bound does).
 fn pack_shared_cells(grid: &GridIndex, capacity: usize) -> (Vec<Vec<u32>>, usize) {
-    let cells = grid.cells();
+    let cells = grid.cells_view();
     let geom = grid.geometry();
     let mut required = capacity.max(1);
     let mut bounds = Vec::with_capacity(grid.non_empty_cells().len());
     for &h in grid.non_empty_cells() {
-        let m = cells[h as usize].len();
+        let m = cells.range_of(h).len();
         let (adj, n_adj) = geom.neighbor_cells(h as usize);
-        let neighborhood: usize = adj[..n_adj].iter().map(|&a| cells[a as usize].len()).sum();
+        let neighborhood: usize = adj[..n_adj].iter().map(|&a| cells.range_of(a).len()).sum();
         let bound = m * neighborhood;
         required = required.max(bound);
         bounds.push((h, bound));

@@ -9,19 +9,20 @@
 //! significant overhead"), so it runs in negligible time; the estimate is
 //! then `a_b = e_b / f`.
 
+use super::{load_cell_range, scan_cell_range};
 use gpu_sim::error::DeviceError;
 use gpu_sim::kernel::{BlockCtx, BlockKernel};
 use gpu_sim::launch::LaunchConfig;
 use gpu_sim::memory::DeviceCounter;
-use spatial::grid::CellRange;
-use spatial::{GridGeometry, Point2};
+use spatial::grid::CellsView;
+use spatial::{GridGeometry, PointsView};
 
 /// Counts neighbors-within-ε over a strided sample of the database.
 pub struct NeighborCountKernel<'a> {
-    /// `D` (device-resident, spatially sorted).
-    pub data: &'a [Point2],
-    /// `G`.
-    pub grid_cells: &'a [CellRange],
+    /// `D` (device-resident, spatially sorted), as the SoA coordinate view.
+    pub points: PointsView<'a>,
+    /// `G`, in either layout.
+    pub grid: CellsView<'a>,
     /// `A`.
     pub lookup: &'a [u32],
     /// Grid geometry.
@@ -44,7 +45,7 @@ impl NeighborCountKernel<'_> {
     /// Launch configuration covering the sample at `block_dim`.
     pub fn launch_config(&self, block_dim: u32) -> LaunchConfig {
         LaunchConfig::for_elements(
-            Self::sample_size(self.data.len(), self.stride).max(1),
+            Self::sample_size(self.points.len(), self.stride).max(1),
             block_dim,
         )
     }
@@ -52,7 +53,7 @@ impl NeighborCountKernel<'_> {
 
 impl BlockKernel for NeighborCountKernel<'_> {
     fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
-        let n_points = self.data.len();
+        let n_points = self.points.len();
         let stride = self.stride.max(1);
         let samples = Self::sample_size(n_points, stride) as u64;
         let eps_sq = self.eps * self.eps;
@@ -64,24 +65,26 @@ impl BlockKernel for NeighborCountKernel<'_> {
             let pi = (t.gid as usize) * stride;
             debug_assert!(pi < n_points);
 
-            t.read_global::<Point2>(1);
-            let point = self.data[pi];
+            t.read_global::<spatial::Point2>(1);
+            let (qx, qy) = (self.points.xs[pi], self.points.ys[pi]);
             t.charge_flops(10);
-            let (cells, n_cells) = self.geom.neighbor_cells(self.geom.cell_of(&point));
+            let (cells, n_cells) = self
+                .geom
+                .neighbor_cells(self.geom.cell_of(&self.points.get(pi)));
 
             let mut local = 0u64;
             for &cell_id in &cells[..n_cells] {
-                t.read_global::<CellRange>(1);
-                let range = self.grid_cells[cell_id as usize];
-                for k in range.start..range.end {
-                    t.read_global::<u32>(1);
-                    t.read_global::<Point2>(1);
-                    t.charge_flops(5);
-                    let cand = self.lookup[k as usize];
-                    if point.distance_sq(&self.data[cand as usize]) <= eps_sq {
-                        local += 1;
-                    }
-                }
+                let range = load_cell_range(t, &self.grid, cell_id);
+                scan_cell_range(
+                    t,
+                    self.points,
+                    self.lookup,
+                    range,
+                    qx,
+                    qy,
+                    eps_sq,
+                    |_, hits| local += hits.len() as u64,
+                );
             }
             // One atomic per thread, not per hit.
             t.charge_atomic();
@@ -97,15 +100,16 @@ mod tests {
     use super::*;
     use gpu_sim::Device;
     use spatial::distance::brute_force_count;
-    use spatial::GridIndex;
+    use spatial::{GridIndex, Point2, PointStore};
 
     fn count(data: &[Point2], eps: f64, stride: usize) -> (u64, gpu_sim::KernelReport) {
         let device = Device::k20c();
         let grid = GridIndex::build(data, eps);
+        let store = PointStore::from_points(data);
         let counter = DeviceCounter::new(&device).unwrap();
         let kernel = NeighborCountKernel {
-            data,
-            grid_cells: grid.cells(),
+            points: store.view(),
+            grid: grid.cells_view(),
             lookup: grid.lookup(),
             geom: grid.geometry(),
             eps,

@@ -4,7 +4,9 @@
 //! memory: it loads its point, enumerates the ≤9 grid cells that can
 //! contain neighbors, scans each cell's `[A_min, A_max]` range of the
 //! lookup array, computes distances, and atomically appends each hit to
-//! the device result buffer as a `(point, neighbor)` pair.
+//! the device result buffer as a `(point, neighbor)` pair. The scan runs
+//! chunk-wise over the SoA coordinate store ([`super::scan_cell_range`]):
+//! same hits, same modeled cost, a fraction of the host wall-clock.
 //!
 //! **Batching** (Section VI): with `n_b` batches, batch `l` processes the
 //! points `{gid · n_b + l}` — a strided assignment over the spatially
@@ -12,20 +14,20 @@
 //! per-batch result sizes `|R_l|` stay consistent (Figure 2). The launch
 //! covers `ceil(|D| / n_b)` points.
 
-use super::NeighborPair;
+use super::{load_cell_range, scan_cell_range, NeighborPair, SCAN_LANES};
 use gpu_sim::error::DeviceError;
-use gpu_sim::kernel::{BlockCtx, BlockKernel};
+use gpu_sim::kernel::{BlockCtx, BlockKernel, ChargeBatch};
 use gpu_sim::launch::LaunchConfig;
 use gpu_sim::memory::DeviceAppendBuffer;
-use spatial::grid::CellRange;
-use spatial::{GridGeometry, Point2};
+use spatial::grid::{CellRange, CellsView};
+use spatial::{GridGeometry, PointsView};
 
 /// Algorithm 2: thread-per-point ε-neighborhood kernel over global memory.
 pub struct GpuCalcGlobal<'a> {
-    /// `D` (device-resident, spatially sorted).
-    pub data: &'a [Point2],
-    /// `G`: per-cell ranges into `A`.
-    pub grid_cells: &'a [CellRange],
+    /// `D` (device-resident, spatially sorted), as the SoA coordinate view.
+    pub points: PointsView<'a>,
+    /// `G`: per-cell ranges into `A`, in either layout.
+    pub grid: CellsView<'a>,
     /// `A`: point ids grouped by cell.
     pub lookup: &'a [u32],
     /// Grid geometry (device constants).
@@ -57,14 +59,14 @@ impl GpuCalcGlobal<'_> {
 
     /// The launch configuration covering this batch at `block_dim`.
     pub fn launch_config(&self, block_dim: u32) -> LaunchConfig {
-        let n = Self::points_in_batch(self.data.len(), self.n_batches, self.batch);
+        let n = Self::points_in_batch(self.points.len(), self.n_batches, self.batch);
         LaunchConfig::for_elements(n.max(1), block_dim)
     }
 }
 
 impl BlockKernel for GpuCalcGlobal<'_> {
     fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
-        let n_points = self.data.len();
+        let n_points = self.points.len();
         let eps_sq = self.eps * self.eps;
         let in_batch = Self::points_in_batch(n_points, self.n_batches, self.batch) as u64;
 
@@ -77,16 +79,16 @@ impl BlockKernel for GpuCalcGlobal<'_> {
             debug_assert!(pi < n_points);
 
             // point <- D[gid'] (registers).
-            t.read_global::<Point2>(1);
-            let point = self.data[pi];
+            t.read_global::<spatial::Point2>(1);
+            let (qx, qy) = (self.points.xs[pi], self.points.ys[pi]);
 
             // cellIDsArr <- getNeighborCells(gid): pure arithmetic.
             t.charge_flops(10);
-            let own_cell = self.geom.cell_of(&point);
+            let own_cell = self.geom.cell_of(&self.points.get(pi));
             if let Some(threshold) = self.skip_dense_at {
                 // Split-kernel mask: dense cells belong to GPUCalcShared.
                 t.read_global::<CellRange>(1);
-                if self.grid_cells[own_cell].len() >= threshold {
+                if self.grid.range_of(own_cell as u32).len() >= threshold {
                     return;
                 }
             }
@@ -94,26 +96,34 @@ impl BlockKernel for GpuCalcGlobal<'_> {
 
             for &cell_id in &cells[..n_cells] {
                 // lookupMin/Max <- G[cellID].
-                t.read_global::<CellRange>(1);
-                let range = self.grid_cells[cell_id as usize];
-
-                for k in range.start..range.end {
-                    // candidateID <- A[k].
-                    t.read_global::<u32>(1);
-                    let cand = self.lookup[k as usize];
-                    // calcDistance(point, D[candidateID], eps).
-                    t.read_global::<Point2>(1);
-                    t.charge_flops(5);
-                    let q = self.data[cand as usize];
-                    if point.distance_sq(&q) <= eps_sq {
-                        // atomic: gpuResultSet <- gpuResultSet ∪ result.
-                        t.charge_atomic();
-                        t.write_global::<NeighborPair>(1);
+                let range = load_cell_range(t, &self.grid, cell_id);
+                scan_cell_range(
+                    t,
+                    self.points,
+                    self.lookup,
+                    range,
+                    qx,
+                    qy,
+                    eps_sq,
+                    |t, hits| {
+                        // atomic: gpuResultSet <- gpuResultSet ∪ result —
+                        // charged per hit (batched: exact integer costs),
+                        // appended with one cursor reservation per chunk.
+                        let mut charge = ChargeBatch {
+                            atomics: hits.len() as u64,
+                            ..ChargeBatch::default()
+                        };
+                        charge.write_global::<NeighborPair>(hits.len() as u64);
+                        t.charge_batch(charge);
+                        let mut out = [(0u32, 0u32); SCAN_LANES];
+                        for (o, &cand) in out.iter_mut().zip(hits) {
+                            *o = (pi as u32, cand);
+                        }
                         // Overflow is recorded by the buffer; a real kernel
                         // cannot unwind, so neither do we.
-                        let _ = self.result.append((pi as u32, cand));
-                    }
-                }
+                        let _ = self.result.append_n(&out[..hits.len()]);
+                    },
+                );
             }
         });
         Ok(())
@@ -122,10 +132,10 @@ impl BlockKernel for GpuCalcGlobal<'_> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{brute_force_pairs, mixed_points};
+    use super::super::test_support::{brute_force_pairs, estimate_result_capacity, mixed_points};
     use super::*;
     use gpu_sim::Device;
-    use spatial::GridIndex;
+    use spatial::{GridIndex, Point2, PointStore};
 
     fn run_kernel(
         data: &[Point2],
@@ -134,12 +144,16 @@ mod tests {
     ) -> (Vec<(u32, u32)>, Vec<gpu_sim::KernelReport>) {
         let device = Device::k20c();
         let grid = GridIndex::build(data, eps);
-        let result = DeviceAppendBuffer::new(&device, data.len() * data.len() + 64).unwrap();
+        let store = PointStore::from_points(data);
+        // Size the result buffer the way production does: via the
+        // estimation kernel (exact at stride 1), not O(n²) scratch.
+        let cap = estimate_result_capacity(&device, &store, &grid, eps);
+        let result = DeviceAppendBuffer::new(&device, cap).unwrap();
         let mut reports = Vec::new();
         for batch in 0..n_batches {
             let kernel = GpuCalcGlobal {
-                data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,
@@ -176,6 +190,39 @@ mod tests {
             let (batched, _) = run_kernel(&data, eps, n_batches);
             assert_eq!(batched, unbatched, "n_batches = {n_batches}");
         }
+    }
+
+    #[test]
+    fn sparse_grid_layout_produces_identical_pairs() {
+        let data = mixed_points(300);
+        let eps = 0.6;
+        let device = Device::k20c();
+        let store = PointStore::from_points(&data);
+        let mut by_layout = Vec::new();
+        for layout in [spatial::GridLayout::Dense, spatial::GridLayout::Sparse] {
+            let grid = GridIndex::build_with_layout(&data, eps, layout);
+            let cap = estimate_result_capacity(&device, &store, &grid, eps);
+            let result = DeviceAppendBuffer::new(&device, cap).unwrap();
+            let kernel = GpuCalcGlobal {
+                points: store.view(),
+                grid: grid.cells_view(),
+                lookup: grid.lookup(),
+                geom: grid.geometry(),
+                eps,
+                batch: 0,
+                n_batches: 1,
+                result: &result,
+                skip_dense_at: None,
+            };
+            device.launch(kernel.launch_config(256), &kernel).unwrap();
+            let mut result = result;
+            assert!(!result.overflowed());
+            let mut pairs = result.as_filled_slice().to_vec();
+            pairs.sort_unstable();
+            by_layout.push(pairs);
+        }
+        assert_eq!(by_layout[0], by_layout[1]);
+        assert_eq!(by_layout[0], brute_force_pairs(&data, eps));
     }
 
     #[test]
@@ -237,11 +284,12 @@ mod tests {
         let eps = 1.0;
         let device = Device::k20c();
         let grid = GridIndex::build(&data, eps);
+        let store = PointStore::from_points(&data);
         // Deliberately undersized buffer.
         let result = DeviceAppendBuffer::new(&device, 10).unwrap();
         let kernel = GpuCalcGlobal {
-            data: &data,
-            grid_cells: grid.cells(),
+            points: store.view(),
+            grid: grid.cells_view(),
             lookup: grid.lookup(),
             geom: grid.geometry(),
             eps,

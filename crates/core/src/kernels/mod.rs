@@ -25,13 +25,133 @@ pub use count::NeighborCountKernel;
 pub use global::GpuCalcGlobal;
 pub use shared::GpuCalcShared;
 
+use gpu_sim::kernel::{ChargeBatch, ThreadCtx};
+use spatial::grid::{CellRange, CellsView};
+use spatial::PointsView;
+
 /// A result-set item: `key` is a point id, `value` a point id within ε of
 /// it. Layout matches the 8-byte pairs the device sort operates on.
 pub type NeighborPair = (u32, u32);
 
+/// Chunk width of the ε-neighborhood inner loop. Eight f64 lanes are one
+/// cache line per coordinate array and small enough for the autovectorizer
+/// to keep the whole distance computation in SIMD registers.
+pub(crate) const SCAN_LANES: usize = 8;
+
+/// Resolve and load cell `h`'s `[start, end)` range from `G`, charging
+/// the modeled cost: the `CellRange` read itself, plus — for the sparse
+/// layout only — the binary-search key probes that locate it.
+#[inline]
+pub(crate) fn load_cell_range(t: &mut ThreadCtx, grid: &CellsView<'_>, h: u32) -> CellRange {
+    let probes = grid.probe_reads();
+    if probes > 0 {
+        t.read_global::<u32>(probes);
+    }
+    t.read_global::<CellRange>(1);
+    grid.range_of(h)
+}
+
+/// The shared ε-neighborhood inner loop: scan the candidates `A[k]` for
+/// `k ∈ [range.start, range.end)` and invoke `on_hits` once per chunk
+/// with the candidates within the closed ε-ball around `(qx, qy)`, in
+/// `k` order (so callers can append and account hits in bulk).
+///
+/// The scan runs chunk-wise over [`SCAN_LANES`]-wide lanes of the SoA
+/// coordinate arrays:
+///
+/// * the x-axis distance is computed first for the whole chunk and the
+///   y pass is skipped when every lane already has `fl(dx²) > ε²` — safe
+///   because `fl(fl(dx²) + fl(dy²)) ≥ fl(dx²)` (f64 rounding is monotone
+///   and `fl(dy²) ≥ 0`), so no such lane can be a hit;
+/// * lane arithmetic (`d2 = dx·dx` then `d2 += dy·dy`) performs exactly
+///   the mul-mul-add rounding sequence of `Point2::distance_sq`, so hit
+///   decisions are bit-identical to the scalar loop;
+/// * `gpu_sim` accounting is charged once per chunk via [`ChargeBatch`]
+///   (per candidate: the `A[k]` id read, the point read, 5 distance
+///   flops), which the cost model guarantees is bitwise identical to
+///   per-element charging.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_cell_range(
+    t: &mut ThreadCtx,
+    points: PointsView<'_>,
+    lookup: &[u32],
+    range: CellRange,
+    qx: f64,
+    qy: f64,
+    eps_sq: f64,
+    mut on_hits: impl FnMut(&mut ThreadCtx, &[u32]),
+) {
+    let mut k = range.start as usize;
+    let end = range.end as usize;
+    while k < end {
+        let c = (end - k).min(SCAN_LANES);
+        let mut batch = ChargeBatch {
+            flops: 5 * c as u64,
+            ..ChargeBatch::default()
+        };
+        batch.read_global::<u32>(c as u64);
+        batch.read_global::<spatial::Point2>(c as u64);
+        t.charge_batch(batch);
+
+        let ids = &lookup[k..k + c];
+        let mut d2 = [0.0f64; SCAN_LANES];
+        let mut all_far = true;
+        for (j, &id) in ids.iter().enumerate() {
+            let dx = qx - points.xs[id as usize];
+            d2[j] = dx * dx;
+            all_far &= d2[j] > eps_sq;
+        }
+        if !all_far {
+            for (j, &id) in ids.iter().enumerate() {
+                let dy = qy - points.ys[id as usize];
+                d2[j] += dy * dy;
+            }
+            let mut hits = [0u32; SCAN_LANES];
+            let mut h = 0;
+            for (j, &id) in ids.iter().enumerate() {
+                if d2[j] <= eps_sq {
+                    hits[h] = id;
+                    h += 1;
+                }
+            }
+            if h > 0 {
+                on_hits(t, &hits[..h]);
+            }
+        }
+        k += c;
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
-    use spatial::Point2;
+    use super::NeighborCountKernel;
+    use gpu_sim::memory::DeviceCounter;
+    use gpu_sim::Device;
+    use spatial::{GridIndex, Point2, PointStore};
+
+    /// Size a result buffer the way the production pipeline does: run the
+    /// Section VI estimation kernel (exact at stride 1) and add the same
+    /// slack the tests always used — instead of O(n²) scratch.
+    pub fn estimate_result_capacity(
+        device: &Device,
+        store: &PointStore,
+        grid: &GridIndex,
+        eps: f64,
+    ) -> usize {
+        let counter = DeviceCounter::new(device).unwrap();
+        let kernel = NeighborCountKernel {
+            points: store.view(),
+            grid: grid.cells_view(),
+            lookup: grid.lookup(),
+            geom: grid.geometry(),
+            eps,
+            stride: 1,
+            counter: &counter,
+        };
+        device.launch(kernel.launch_config(256), &kernel).unwrap();
+        counter.get() as usize + 64
+    }
 
     /// A small mixed-density point set exercising multi-cell grids.
     pub fn mixed_points(n: usize) -> Vec<Point2> {

@@ -5,7 +5,10 @@
 //! points and each adjacent *comparison* cell's points from global into
 //! shared memory in block-size tiles, synchronizes, and then each thread
 //! compares its origin point against every staged comparison point —
-//! exploiting shared-memory bandwidth for the O(m·n) distance work.
+//! exploiting shared-memory bandwidth for the O(m·n) distance work. The
+//! staged tiles are SoA (separate x/y arrays, same byte footprint), and
+//! the per-thread compare loop runs chunk-wise with the hoisted x-axis
+//! filter of [`super::scan_cell_range`] — same hits, same modeled cost.
 //!
 //! The paper's pseudo-code assumes cells no larger than the block; the
 //! real implementation (and this one) adds the outer tiling loop it
@@ -19,21 +22,22 @@
 //! blocks, the worse the total. The experiment harness reproduces exactly
 //! that trade-off.
 
-use super::NeighborPair;
+use super::{load_cell_range, NeighborPair, SCAN_LANES};
 use gpu_sim::error::DeviceError;
+use gpu_sim::kernel::ChargeBatch;
 use gpu_sim::kernel::{BlockCtx, BlockKernel};
 use gpu_sim::launch::LaunchConfig;
 use gpu_sim::memory::DeviceAppendBuffer;
-use spatial::grid::CellRange;
-use spatial::{GridGeometry, Point2};
+use spatial::grid::CellsView;
+use spatial::{GridGeometry, Point2, PointsView};
 
 /// Algorithm 3: block-per-cell ε-neighborhood kernel staging through
 /// shared memory.
 pub struct GpuCalcShared<'a> {
-    /// `D` (device-resident, spatially sorted).
-    pub data: &'a [Point2],
-    /// `G`: per-cell ranges into `A`.
-    pub grid_cells: &'a [CellRange],
+    /// `D` (device-resident, spatially sorted), as the SoA coordinate view.
+    pub points: PointsView<'a>,
+    /// `G`: per-cell ranges into `A`, in either layout.
+    pub grid: CellsView<'a>,
     /// `A`: point ids grouped by cell.
     pub lookup: &'a [u32],
     /// Grid geometry (device constants).
@@ -67,12 +71,16 @@ impl BlockKernel for GpuCalcShared<'_> {
 
         // cellToProc <- S[blockID].
         let cell = self.schedule[ctx.block_idx as usize];
-        let origin_range = self.grid_cells[cell as usize];
+        let origin_range = self.grid.range_of(cell);
         let m_origin = origin_range.len();
 
-        // shared pntsOriginCell[blockDim.x], pntsCompCell[blockDim.x].
-        let mut s_origin: Vec<Point2> = ctx.alloc_shared(bd)?;
-        let mut s_comp: Vec<Point2> = ctx.alloc_shared(bd)?;
+        // shared pntsOriginCell[blockDim.x], pntsCompCell[blockDim.x] —
+        // staged SoA (split x/y), same 2 * size_of::<Point2>() bytes per
+        // thread as the interleaved layout.
+        let mut s_origin_x: Vec<f64> = ctx.alloc_shared(bd)?;
+        let mut s_origin_y: Vec<f64> = ctx.alloc_shared(bd)?;
+        let mut s_comp_x: Vec<f64> = ctx.alloc_shared(bd)?;
+        let mut s_comp_y: Vec<f64> = ctx.alloc_shared(bd)?;
         // Origin point ids travel with the staged coordinates (the result
         // pair needs them); a real kernel stages them in shared memory too.
         let mut s_origin_ids: Vec<u32> = ctx.alloc_shared(bd)?;
@@ -82,7 +90,7 @@ impl BlockKernel for GpuCalcShared<'_> {
         let mut n_cells = 0;
         ctx.phase(|t| {
             if t.tid == 0 {
-                t.read_global::<CellRange>(1);
+                let _ = load_cell_range(t, &self.grid, cell);
                 t.charge_flops(10);
                 let (ids, n) = self.geom.neighbor_cells(cell as usize);
                 cell_ids = ids;
@@ -111,14 +119,15 @@ impl BlockKernel for GpuCalcShared<'_> {
                     // lookupOffset <- G[cellToProc].min + threadId.x;
                     // dataID <- A[lookupOffset]; copy D[dataID] to shared.
                     let id = self.lookup[o_base + k];
-                    s_origin[k] = self.data[id as usize];
+                    s_origin_x[k] = self.points.xs[id as usize];
+                    s_origin_y[k] = self.points.ys[id as usize];
                     s_origin_ids[k] = id;
                 }
             });
 
             // Loop over the comparison cells.
             for &comp_cell in &cell_ids[..n_cells] {
-                let comp_range = self.grid_cells[comp_cell as usize];
+                let comp_range = self.grid.range_of(comp_cell);
                 let m_comp = comp_range.len();
                 if m_comp == 0 {
                     continue;
@@ -137,23 +146,27 @@ impl BlockKernel for GpuCalcShared<'_> {
                         t.access_shared::<Point2>(1);
                         if k < c_count {
                             let id = self.lookup[c_base + k];
-                            s_comp[k] = self.data[id as usize];
+                            s_comp_x[k] = self.points.xs[id as usize];
+                            s_comp_y[k] = self.points.ys[id as usize];
                         }
                     });
 
                     // Compare: thread k owns origin point k (if staged)
                     // and scans the staged comparison tile from shared
-                    // memory. Lanes without an origin point idle, but the
-                    // warp-max accounting still charges their warp the
-                    // active lanes' cost — and the block keeps paying the
-                    // staging loads and barriers above, which is what
-                    // sinks this kernel on sparse cells (Table II).
+                    // memory, chunk-wise over SoA lanes with the x-axis
+                    // filter hoisted (bit-identical hit decisions; see
+                    // scan_cell_range for the argument). Lanes without an
+                    // origin point idle, but the warp-max accounting still
+                    // charges their warp the active lanes' cost — and the
+                    // block keeps paying the staging loads and barriers
+                    // above, which is what sinks this kernel on sparse
+                    // cells (Table II).
                     ctx.phase(|t| {
                         let k = t.tid as usize;
                         if k >= o_count {
                             return;
                         }
-                        let p = s_origin[k];
+                        let (px, py) = (s_origin_x[k], s_origin_y[k]);
                         let pid = s_origin_ids[k];
                         t.access_shared::<Point2>(1);
                         t.access_shared::<Point2>(c_count as u64);
@@ -162,13 +175,40 @@ impl BlockKernel for GpuCalcShared<'_> {
                         // arithmetic (the DP dependency chain pipelines
                         // poorly inside a warp).
                         t.charge_flops(12 * c_count as u64);
-                        for (j, q) in s_comp[..c_count].iter().enumerate() {
-                            if p.distance_sq(q) <= eps_sq {
-                                t.charge_atomic();
-                                t.write_global::<NeighborPair>(1);
-                                let cand = self.lookup[c_base + j];
-                                let _ = self.result.append((pid, cand));
+                        let mut j = 0;
+                        while j < c_count {
+                            let c = (c_count - j).min(SCAN_LANES);
+                            let mut d2 = [0.0f64; SCAN_LANES];
+                            let mut all_far = true;
+                            for l in 0..c {
+                                let dx = px - s_comp_x[j + l];
+                                d2[l] = dx * dx;
+                                all_far &= d2[l] > eps_sq;
                             }
+                            if !all_far {
+                                for l in 0..c {
+                                    let dy = py - s_comp_y[j + l];
+                                    d2[l] += dy * dy;
+                                }
+                                let mut out = [(0u32, 0u32); SCAN_LANES];
+                                let mut h = 0;
+                                for (l, &d) in d2.iter().take(c).enumerate() {
+                                    if d <= eps_sq {
+                                        out[h] = (pid, self.lookup[c_base + j + l]);
+                                        h += 1;
+                                    }
+                                }
+                                if h > 0 {
+                                    let mut charge = ChargeBatch {
+                                        atomics: h as u64,
+                                        ..ChargeBatch::default()
+                                    };
+                                    charge.write_global::<NeighborPair>(h as u64);
+                                    t.charge_batch(charge);
+                                    let _ = self.result.append_n(&out[..h]);
+                                }
+                            }
+                            j += c;
                         }
                     });
                 }
@@ -180,10 +220,10 @@ impl BlockKernel for GpuCalcShared<'_> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{brute_force_pairs, mixed_points};
+    use super::super::test_support::{brute_force_pairs, estimate_result_capacity, mixed_points};
     use super::*;
     use gpu_sim::Device;
-    use spatial::GridIndex;
+    use spatial::{GridIndex, PointStore};
 
     fn run_kernel(
         data: &[Point2],
@@ -192,10 +232,14 @@ mod tests {
     ) -> (Vec<(u32, u32)>, gpu_sim::KernelReport) {
         let device = Device::k20c();
         let grid = GridIndex::build(data, eps);
-        let result = DeviceAppendBuffer::new(&device, data.len() * data.len() + 64).unwrap();
+        let store = PointStore::from_points(data);
+        // Size via the estimation kernel (exact at stride 1), as
+        // production does — not O(n²) scratch.
+        let cap = estimate_result_capacity(&device, &store, &grid, eps);
+        let result = DeviceAppendBuffer::new(&device, cap).unwrap();
         let kernel = GpuCalcShared {
-            data,
-            grid_cells: grid.cells(),
+            points: store.view(),
+            grid: grid.cells_view(),
             lookup: grid.lookup(),
             geom: grid.geometry(),
             eps,
@@ -263,15 +307,17 @@ mod tests {
         let eps = 0.9;
         let device = Device::k20c();
         let grid = GridIndex::build(&data, eps);
+        let store = PointStore::from_points(&data);
+        let cap = estimate_result_capacity(&device, &store, &grid, eps);
         let full_schedule = grid.non_empty_cells();
         // Split the schedule in two and verify the union matches.
         let mid = full_schedule.len() / 2;
         let mut all_pairs = Vec::new();
         for part in [&full_schedule[..mid], &full_schedule[mid..]] {
-            let result = DeviceAppendBuffer::new(&device, data.len() * data.len() + 64).unwrap();
+            let result = DeviceAppendBuffer::new(&device, cap).unwrap();
             let kernel = GpuCalcShared {
-                data: &data,
-                grid_cells: grid.cells(),
+                points: store.view(),
+                grid: grid.cells_view(),
                 lookup: grid.lookup(),
                 geom: grid.geometry(),
                 eps,
@@ -292,11 +338,12 @@ mod tests {
     fn shared_memory_request_scales_with_block() {
         let data = mixed_points(50);
         let grid = GridIndex::build(&data, 1.0);
+        let store = PointStore::from_points(&data);
         let device = Device::k20c();
         let result = DeviceAppendBuffer::new(&device, 10_000).unwrap();
         let kernel = GpuCalcShared {
-            data: &data,
-            grid_cells: grid.cells(),
+            points: store.view(),
+            grid: grid.cells_view(),
             lookup: grid.lookup(),
             geom: grid.geometry(),
             eps: 1.0,

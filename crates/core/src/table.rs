@@ -253,14 +253,15 @@ impl NeighborTableBuilder {
     /// Serial run scan: values in order plus one `(key, local range)` per
     /// contiguous key run.
     fn scan_runs_serial(pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<(u32, TableRange)>) {
-        let mut segment = Vec::with_capacity(pairs.len());
+        // Bulk value copy first (one vectorizable pass), then a second
+        // pass for the run boundaries — faster than interleaving pushes.
+        let segment: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
         let mut local: Vec<(u32, TableRange)> = Vec::new();
         let mut i = 0;
         while i < pairs.len() {
             let key = pairs[i].0;
             let start = i;
             while i < pairs.len() && pairs[i].0 == key {
-                segment.push(pairs[i].1);
                 i += 1;
             }
             local.push((

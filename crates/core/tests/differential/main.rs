@@ -31,6 +31,7 @@
 //! stand-in does not shrink).
 
 mod generators;
+mod grid_layouts;
 mod harness;
 mod sweep;
 mod threads;

@@ -99,6 +99,69 @@ impl ThreadCtx {
         self.counters.atomics += 1;
         self.cycles += self.atomic_cost;
     }
+
+    /// Charge an aggregated batch of events in one call.
+    ///
+    /// Semantically identical to issuing the individual charge calls
+    /// element by element; kernels use it to account a whole inner-loop
+    /// chunk at once so the host-side bookkeeping overhead is paid per
+    /// chunk, not per candidate. With the integer-valued cost models
+    /// shipped in this crate the cycle total is *bitwise* identical to
+    /// per-element accounting: every term below is an exact integer in
+    /// f64 (byte counts are multiples of 4, and dividing by 4.0 is exact
+    /// regardless), and f64 addition of exact integers below 2^53 is
+    /// exact and therefore associative. See the `chunked accounting`
+    /// test, which pins this equivalence.
+    #[inline]
+    pub fn charge_batch(&mut self, b: ChargeBatch) {
+        self.counters.flops += b.flops;
+        self.counters.global_read_bytes += b.global_read_bytes;
+        self.counters.global_write_bytes += b.global_write_bytes;
+        self.counters.shared_bytes += b.shared_bytes;
+        self.counters.atomics += b.atomics;
+        self.cycles += b.flops as f64 * self.flop_cost
+            + b.global_read_bytes as f64 / 4.0 * self.global_word_cost
+            + b.global_write_bytes as f64 / 4.0 * self.global_word_cost
+            + b.shared_bytes as f64 / 4.0 * self.shared_word_cost
+            + b.atomics as f64 * self.atomic_cost;
+    }
+}
+
+/// An aggregated set of cost events, charged in one call via
+/// [`ThreadCtx::charge_batch`]. Counts are raw event totals (bytes for
+/// memory traffic), exactly as the per-element charge methods take them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChargeBatch {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Global-memory bytes read.
+    pub global_read_bytes: u64,
+    /// Global-memory bytes written.
+    pub global_write_bytes: u64,
+    /// Shared-memory bytes accessed (read or write).
+    pub shared_bytes: u64,
+    /// Global atomic RMW operations.
+    pub atomics: u64,
+}
+
+impl ChargeBatch {
+    /// Accumulate `n` global reads of element type `T` into the batch.
+    #[inline]
+    pub fn read_global<T>(&mut self, n: u64) {
+        self.global_read_bytes += n * std::mem::size_of::<T>() as u64;
+    }
+
+    /// Accumulate `n` global writes of element type `T` into the batch.
+    #[inline]
+    pub fn write_global<T>(&mut self, n: u64) {
+        self.global_write_bytes += n * std::mem::size_of::<T>() as u64;
+    }
+
+    /// Accumulate `n` shared-memory accesses of element type `T`.
+    #[inline]
+    pub fn access_shared<T>(&mut self, n: u64) {
+        self.shared_bytes += n * std::mem::size_of::<T>() as u64;
+    }
 }
 
 /// Per-block execution context.
@@ -470,6 +533,87 @@ mod tests {
             peak.load(Ordering::SeqCst) > 1,
             "blocks should overlap on the pool"
         );
+    }
+
+    /// Charges the canonical per-candidate sequence of the ε-neighborhood
+    /// inner loop (id read, point read, distance flops, occasional
+    /// atomic+write) one element at a time.
+    struct PerElement {
+        candidates: u64,
+    }
+
+    impl BlockKernel for PerElement {
+        fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+            let n = self.candidates;
+            ctx.for_each_thread(|t| {
+                for i in 0..n {
+                    t.read_global::<u32>(1);
+                    t.read_global::<[f64; 2]>(1);
+                    t.charge_flops(5);
+                    if i % 7 == 0 {
+                        t.charge_atomic();
+                        t.write_global::<[u32; 2]>(1);
+                    }
+                }
+            });
+            Ok(())
+        }
+    }
+
+    /// The same work accounted as one [`ChargeBatch`] per 8-wide chunk.
+    struct Chunked {
+        candidates: u64,
+    }
+
+    impl BlockKernel for Chunked {
+        fn run_block(&self, ctx: &mut BlockCtx) -> Result<(), DeviceError> {
+            let n = self.candidates;
+            ctx.for_each_thread(|t| {
+                let mut i = 0;
+                while i < n {
+                    let c = (n - i).min(8);
+                    let mut batch = ChargeBatch {
+                        flops: 5 * c,
+                        ..ChargeBatch::default()
+                    };
+                    batch.read_global::<u32>(c);
+                    batch.read_global::<[f64; 2]>(c);
+                    for j in i..i + c {
+                        if j % 7 == 0 {
+                            batch.atomics += 1;
+                            batch.global_write_bytes += std::mem::size_of::<[u32; 2]>() as u64;
+                        }
+                    }
+                    t.charge_batch(batch);
+                    i += c;
+                }
+            });
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn chunked_accounting_is_bitwise_identical_to_per_element() {
+        // The guarantee the kernels' chunk-wise inner loop rests on:
+        // charging a whole chunk through ChargeBatch reproduces the
+        // per-element modeled cost *exactly* — same counters, and a
+        // bitwise-equal duration (integer cost constants make every f64
+        // addition exact; see the charge_batch docs).
+        let d = Device::k20c();
+        let cfg = LaunchConfig::new(16, 128);
+        for candidates in [0u64, 1, 5, 8, 13, 100, 257] {
+            let per = d.launch(cfg, &PerElement { candidates }).unwrap();
+            let chk = d.launch(cfg, &Chunked { candidates }).unwrap();
+            assert_eq!(per.counters, chk.counters, "candidates = {candidates}");
+            assert_eq!(
+                per.duration.as_secs().to_bits(),
+                chk.duration.as_secs().to_bits(),
+                "modeled duration must be bit-identical (candidates = {candidates}): \
+                 {} vs {}",
+                per.duration.as_micros(),
+                chk.duration.as_micros()
+            );
+        }
     }
 
     #[test]

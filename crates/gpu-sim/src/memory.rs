@@ -14,6 +14,7 @@
 
 use crate::device::Device;
 use crate::error::DeviceError;
+use crate::hostmem::PinnedBuffer;
 use crate::time::SimDuration;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -191,6 +192,34 @@ impl<T: Copy + Send + Default> DeviceAppendBuffer<T> {
         Ok(())
     }
 
+    /// Append a small run of items with a single cursor reservation — the
+    /// device idiom of one `atomicAdd(cursor, n)` per thread-local batch
+    /// instead of one per element. Overflow accounting matches `n`
+    /// individual [`append`](Self::append) calls exactly: items that fit
+    /// in the reserved window are stored, the rest are counted rejected.
+    #[inline]
+    pub fn append_n(&self, items: &[T]) -> Result<(), DeviceError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let start = self.cursor.fetch_add(items.len(), Ordering::AcqRel);
+        let cap = self.slots.len();
+        let fits = cap.saturating_sub(start).min(items.len());
+        for (i, &item) in items[..fits].iter().enumerate() {
+            // SAFETY: start..start+fits was uniquely claimed and in bounds.
+            unsafe { *self.slots[start + i].get() = item };
+        }
+        if fits < items.len() {
+            self.rejected
+                .fetch_add(items.len() - fits, Ordering::Relaxed);
+            return Err(DeviceError::BufferOverflow {
+                capacity: cap,
+                attempted: start + items.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// View of the filled prefix. Requires `&mut self`, i.e. no concurrent
     /// kernel can still be appending.
     pub fn as_filled_slice(&mut self) -> &[T] {
@@ -220,6 +249,20 @@ impl<T: Copy + Send + Default> DeviceAppendBuffer<T> {
         let bytes = n * std::mem::size_of::<T>();
         let t = self.device.transfer_model().transfer_time(bytes, pinned);
         (self.as_filled_slice().to_vec(), t)
+    }
+
+    /// Download the filled prefix straight into a pinned staging buffer —
+    /// the cudaMemcpyAsync(D2H, pinned) shape — without the intermediate
+    /// host `Vec` of [`Self::to_host`]. Returns the staged length and the
+    /// modeled pinned-rate transfer duration.
+    pub fn download_into(&mut self, stage: &mut PinnedBuffer<T>) -> (usize, SimDuration)
+    where
+        T: Default,
+    {
+        let n = self.len();
+        let bytes = n * std::mem::size_of::<T>();
+        let t = self.device.transfer_model().transfer_time(bytes, true);
+        (stage.write_from(self.as_filled_slice()), t)
     }
 }
 

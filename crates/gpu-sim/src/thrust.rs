@@ -31,15 +31,139 @@ pub fn sort_by_key_time(n: usize) -> SimDuration {
 /// deterministic even though append order into the source
 /// `DeviceAppendBuffer` varies with host thread interleaving — this is
 /// the canonicalization step the threading determinism policy (DESIGN.md)
-/// requires of every append-buffer consumer. The functional sort is the
-/// shim's parallel merge sort, itself bitwise-identical at every thread
-/// count; Thrust's radix `sort_by_key` likewise suffices since
-/// neighbor-table construction only requires identical keys adjacent.
+/// requires of every append-buffer consumer. A total order has exactly
+/// one sorted arrangement, so *any* correct sort produces the same
+/// output; the functional sort here is an LSD radix sort over the packed
+/// `(key << 32) | value` u64 — the same algorithm Thrust's `sort_by_key`
+/// actually runs, and several times faster on the host than a
+/// comparison sort because the pair comparator never executes.
 pub fn sort_by_key(device: &Device, pairs: &mut [(u32, u32)]) -> SimDuration {
     // Hold the compute engine like any other kernel work.
     let _guard = device.inner.compute_lock.lock();
-    pairs.par_sort_unstable();
+    radix_sort_pairs(pairs);
     sort_by_key_time(pairs.len())
+}
+
+/// Number of pairs below which the std comparison sort beats the radix
+/// passes' fixed costs (two scratch arrays, four 64 Ki histograms).
+const RADIX_MIN_PAIRS: usize = 1 << 12;
+
+/// LSD radix sort of `(u32, u32)` pairs in `(key, value)` lexicographic
+/// order: pack each pair into `(key << 32) | value` (u64 order ≡ pair
+/// order), then four stable counting passes over 16-bit digits, least
+/// significant first. A pass whose digit is constant across the input is
+/// detected from its histogram and skipped — result-set keys/values
+/// rarely fill all 32 bits, so small inputs usually run 2 of 4 passes.
+fn radix_sort_pairs(pairs: &mut [(u32, u32)]) {
+    let n = pairs.len();
+    if n < RADIX_MIN_PAIRS {
+        pairs.sort_unstable();
+        return;
+    }
+    // Presorted-key regime: kernels append result chunks in thread order,
+    // so with few host threads the buffer's *keys* are already
+    // non-decreasing — only the values inside each equal-key run need
+    // ordering. One O(n) check buys skipping the grouping passes
+    // entirely; with more interleaving the check fails and the generic
+    // paths below produce the identical total order.
+    if pairs.is_sorted_by_key(|&(k, _)| k) {
+        sort_value_runs(pairs);
+        return;
+    }
+    // Dense-key regime (result sets: keys are point ids, so
+    // max_key < |D| ≲ n): one stable counting pass groups the keys, then
+    // each key's value run sorts locally — O(n + Σ r·log r) with
+    // cache-resident run sorts, beating full-width radix passes.
+    let max_key = pairs.iter().map(|&(k, _)| k).max().unwrap_or(0) as usize;
+    if max_key < 4 * n {
+        counting_sort_by_key(pairs, max_key + 1);
+        return;
+    }
+    let mut src: Vec<u64> = pairs
+        .iter()
+        .map(|&(k, v)| (u64::from(k) << 32) | u64::from(v))
+        .collect();
+    let mut dst: Vec<u64> = vec![0u64; n];
+    for pass in 0..4 {
+        let shift = pass * 16;
+        let mut hist = vec![0u32; 1 << 16];
+        for &x in &src {
+            hist[((x >> shift) & 0xFFFF) as usize] += 1;
+        }
+        // Constant digit ⇒ the scatter would be the identity permutation.
+        if hist[((src[0] >> shift) & 0xFFFF) as usize] as usize == n {
+            continue;
+        }
+        let mut offset = 0u32;
+        for h in hist.iter_mut() {
+            let count = *h;
+            *h = offset;
+            offset += count;
+        }
+        for &x in &src {
+            let d = ((x >> shift) & 0xFFFF) as usize;
+            dst[hist[d] as usize] = x;
+            hist[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    for (p, &x) in pairs.iter_mut().zip(&src) {
+        *p = ((x >> 32) as u32, x as u32);
+    }
+}
+
+/// Sort each equal-key run by value, in place. Requires keys already
+/// non-decreasing; yields the `(key, value)` lexicographic total order.
+fn sort_value_runs(pairs: &mut [(u32, u32)]) {
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let key = pairs[i].0;
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == key {
+            j += 1;
+        }
+        pairs[i..j].sort_unstable_by_key(|&(_, v)| v);
+        i = j;
+    }
+}
+
+/// Counting sort on the key (one stable scatter of the values into
+/// per-key runs), then an in-place `sort_unstable` of each run. Requires
+/// keys in `0..n_keys`.
+fn counting_sort_by_key(pairs: &mut [(u32, u32)], n_keys: usize) {
+    let n = pairs.len();
+    // ends[k] = cursor for key k during the scatter; afterwards the
+    // exclusive end of k's run.
+    let mut ends = vec![0u32; n_keys + 1];
+    for &(k, _) in pairs.iter() {
+        ends[k as usize + 1] += 1;
+    }
+    for k in 0..n_keys {
+        ends[k + 1] += ends[k];
+    }
+    let mut values = vec![0u32; n];
+    for &(k, v) in pairs.iter() {
+        let slot = ends[k as usize];
+        values[slot as usize] = v;
+        ends[k as usize] = slot + 1;
+    }
+    let mut rest: &mut [u32] = &mut values;
+    let mut consumed = 0usize;
+    for &end in ends.iter().take(n_keys) {
+        let end = end as usize;
+        let (run, tail) = std::mem::take(&mut rest).split_at_mut(end - consumed);
+        run.sort_unstable();
+        rest = tail;
+        consumed = end;
+    }
+    let mut i = 0usize;
+    for (k, &end) in ends.iter().take(n_keys).enumerate() {
+        let end = end as usize;
+        while i < end {
+            pairs[i] = (k as u32, values[i]);
+            i += 1;
+        }
+    }
 }
 
 /// Device-side reduction (sum) of a `u64` array, with a modeled duration.
@@ -72,6 +196,57 @@ pub fn exclusive_scan(device: &Device, values: &[u32]) -> (Vec<u32>, SimDuration
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn radix_sort_matches_comparison_sort() {
+        // Pseudo-random pairs exercising all four digit passes, plus a
+        // small-key regime where the upper passes are constant and skipped.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for (n, mask) in [
+            (100_000usize, u64::MAX),
+            (100_000, 0x0000_FFFF_0000_FFFF),
+            (5000, 0x0000_0FFF_0000_0FFF),
+            (100, u64::MAX), // below RADIX_MIN_PAIRS: std-sort path
+            (0, u64::MAX),
+        ] {
+            let mut pairs: Vec<(u32, u32)> = (0..n)
+                .map(|_| {
+                    let r = step() & mask;
+                    ((r >> 32) as u32, r as u32)
+                })
+                .collect();
+            let mut expect = pairs.clone();
+            expect.sort_unstable();
+            radix_sort_pairs(&mut pairs);
+            assert_eq!(pairs, expect, "n = {n}, mask = {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn presorted_keys_with_shuffled_values_match_comparison_sort() {
+        // The fast path: keys already non-decreasing (as a
+        // block-sequential kernel appends them), values scrambled within
+        // runs. Large enough to clear RADIX_MIN_PAIRS.
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let n = 50_000usize;
+        let mut pairs: Vec<(u32, u32)> = (0..n).map(|i| ((i / 13) as u32, step() as u32)).collect();
+        let mut expect = pairs.clone();
+        expect.sort_unstable();
+        radix_sort_pairs(&mut pairs);
+        assert_eq!(pairs, expect);
+    }
 
     #[test]
     fn sort_groups_identical_keys() {

@@ -5,13 +5,33 @@
 //! plus its (at most 8) adjacent cells. The index is stored as two flat
 //! arrays, exactly as on the GPU:
 //!
-//! * `G` (here [`GridIndex::cells`]) — one [`CellRange`] per cell `C_h`,
-//!   holding the `[A_min_h, A_max_h]` range of that cell's points in `A`;
+//! * `G` — one [`CellRange`] per cell `C_h`, holding the
+//!   `[A_min_h, A_max_h]` range of that cell's points in `A`;
 //! * `A` (here [`GridIndex::lookup`]) — the lookup array of point ids,
 //!   grouped by cell. Since every point lives in exactly one cell,
 //!   `|A| = |D|` and no per-cell over-allocation is needed.
 //!
 //! Cells are linearized row-major: `h = cy * nx + cx`.
+//!
+//! # Dense vs sparse `G`
+//!
+//! The natural dense layout (`vec![CellRange; nx * ny]`) is O(nx·ny): at
+//! small ε relative to the data extent (exactly the SW-dataset regime of
+//! Table II) the cell count dwarfs `|D|` and the array is almost entirely
+//! `EMPTY` — memory and cache misses for nothing. The index therefore
+//! supports two layouts behind one query interface ([`CellsView`]):
+//!
+//! * [`GridLayout::Dense`] — the flat array; O(1) cell resolution.
+//! * [`GridLayout::Sparse`] — only the non-empty cells, as a sorted key
+//!   array plus a parallel range array; cell ids resolve by binary
+//!   search. Build memory is O(|D|), independent of nx·ny.
+//!
+//! [`GridIndex::build`] picks the layout automatically: dense iff
+//! `nx·ny <= max(DENSE_CELLS_MIN, DENSE_CELLS_PER_POINT · |D|)` — i.e. the
+//! dense array is allowed to cost at most a small constant factor of the
+//! point storage itself (see the constants for the rationale). Both
+//! layouts produce bitwise-identical `A`, non-empty schedules, stats, and
+//! query answers; only the representation of `G` differs.
 
 use crate::aabb::Aabb;
 use crate::point::Point2;
@@ -22,6 +42,11 @@ use serde::{Deserialize, Serialize};
 /// The paper stores inclusive `[A_min, A_max]`; we store the conventional
 /// half-open `[start, end)` (`end = A_max + 1`), which also represents empty
 /// cells without a sentinel.
+///
+/// Invariant: `start <= end`, enforced (debug-asserted) at construction by
+/// [`CellRange::new`]. [`CellRange::len`] is total: a malformed range (only
+/// constructible by writing the public fields directly) reports length 0 in
+/// release builds instead of wrapping to a near-`u32::MAX` length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellRange {
     pub start: u32,
@@ -31,6 +56,18 @@ pub struct CellRange {
 impl CellRange {
     pub const EMPTY: CellRange = CellRange { start: 0, end: 0 };
 
+    /// Construct a range, enforcing `start <= end`.
+    #[inline]
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(
+            end >= start,
+            "malformed CellRange: end {end} < start {start}"
+        );
+        CellRange { start, end }
+    }
+
+    /// Number of points in the cell. Total: saturates to 0 on a malformed
+    /// range (debug builds catch the malformation instead).
     #[inline]
     pub fn len(&self) -> usize {
         debug_assert!(
@@ -39,12 +76,85 @@ impl CellRange {
             self.end,
             self.start
         );
-        (self.end.wrapping_sub(self.start)) as usize
+        self.end.saturating_sub(self.start) as usize
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.end <= self.start
+    }
+}
+
+/// Representation of the cell array `G`. See the module docs for the
+/// trade-off; [`GridIndex::build`] chooses automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridLayout {
+    /// Flat `nx·ny` array; O(1) cell resolution, O(nx·ny) memory.
+    Dense,
+    /// Non-empty cells only (sorted keys + parallel ranges); O(log k)
+    /// resolution, O(|D|) memory.
+    Sparse,
+}
+
+/// Largest dense cell array built unconditionally. Below this, O(nx·ny)
+/// is noise (32 KB of ranges) and dense O(1) resolution always wins.
+pub const DENSE_CELLS_MIN: usize = 4096;
+
+/// Dense is kept while `nx·ny <= DENSE_CELLS_PER_POINT · |D|`: a
+/// `CellRange` is 8 bytes and a `Point2` 16, so factor 4 bounds the dense
+/// `G` at 2× the memory of `D` itself. Past that the array is mostly
+/// `EMPTY` padding and the index switches to the sparse layout.
+pub const DENSE_CELLS_PER_POINT: usize = 4;
+
+/// A borrowed view of the cell array `G`, in either layout — what the
+/// (simulated) GPU kernels traverse. `Copy`, so kernels capture it by
+/// value like the other device constants.
+#[derive(Debug, Clone, Copy)]
+pub enum CellsView<'a> {
+    /// `ranges[h]` is cell `h`.
+    Dense(&'a [CellRange]),
+    /// `keys` is the sorted list of non-empty cell ids; `ranges[i]`
+    /// belongs to cell `keys[i]`. Absent ids are empty cells.
+    Sparse {
+        keys: &'a [u32],
+        ranges: &'a [CellRange],
+    },
+}
+
+impl CellsView<'_> {
+    /// The `[start, end)` range of cell `h` (`EMPTY` for an absent sparse
+    /// cell). Dense: O(1). Sparse: binary search over the non-empty keys.
+    #[inline]
+    pub fn range_of(&self, h: u32) -> CellRange {
+        match self {
+            CellsView::Dense(ranges) => ranges[h as usize],
+            CellsView::Sparse { keys, ranges } => match keys.binary_search(&h) {
+                Ok(i) => ranges[i],
+                Err(_) => CellRange::EMPTY,
+            },
+        }
+    }
+
+    /// Modeled extra global-memory words a GPU kernel touches to *resolve*
+    /// a cell id before reading its `CellRange`: 0 for the dense layout
+    /// (direct index), `ceil(log2(k + 1))` binary-search probes for the
+    /// sparse layout over `k` non-empty cells.
+    #[inline]
+    pub fn probe_reads(&self) -> u64 {
+        match self {
+            CellsView::Dense(_) => 0,
+            CellsView::Sparse { keys, .. } => (usize::BITS - keys.len().leading_zeros()) as u64,
+        }
+    }
+
+    /// Number of stored `CellRange` entries (nx·ny dense, k sparse) —
+    /// the device-resident footprint of `G`, for memory accounting.
+    #[inline]
+    pub fn stored_ranges(&self) -> usize {
+        match self {
+            CellsView::Dense(ranges) => ranges.len(),
+            CellsView::Sparse { ranges, .. } => ranges.len(),
+        }
     }
 }
 
@@ -183,7 +293,7 @@ impl GridGeometry {
 ///
 /// // Cell C_h of the first point: a contiguous [start, end) range into A…
 /// let h = g.cell_of(&d[0]);
-/// let range = g.cells()[h];
+/// let range = g.range_of(h);
 /// let members = &g.lookup()[range.start as usize..range.end as usize];
 /// // …listing exactly the ids located in that cell (0, 2 and 3 here),
 /// // even though those points are not contiguous in D.
@@ -197,22 +307,44 @@ impl GridGeometry {
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     geom: GridGeometry,
-    /// `G`: per-cell ranges into `lookup`.
-    cells: Vec<CellRange>,
+    layout: GridLayout,
+    /// `G`: dense layout stores nx·ny entries indexed by cell id; sparse
+    /// layout stores one entry per non-empty cell, parallel to
+    /// `non_empty` (which doubles as the sorted key array).
+    ranges: Vec<CellRange>,
     /// `A`: point ids grouped by cell; `|A| = |D|`.
     lookup: Vec<u32>,
     /// Linear ids of non-empty cells, ascending — the schedule `S` consumed
-    /// by the GPUCalcShared kernel (one block per non-empty cell).
+    /// by the GPUCalcShared kernel (one block per non-empty cell), and the
+    /// key array of the sparse layout.
     non_empty: Vec<u32>,
     max_per_cell: usize,
 }
 
 impl GridIndex {
-    /// Build the index over `data` with cell width `eps`.
+    /// Build the index over `data` with cell width `eps`, choosing the
+    /// `G` layout automatically (see the module docs for the threshold).
     ///
-    /// `eps` must be finite and positive, and `data` non-empty. Construction
-    /// is a two-pass counting sort: `O(|D| + |G|)`.
+    /// `eps` must be finite and positive, and `data` non-empty.
     pub fn build(data: &[Point2], eps: f64) -> Self {
+        let geom = Self::geometry_for(data, eps);
+        let n_cells = geom.nx * geom.ny;
+        let layout = if n_cells <= DENSE_CELLS_MIN.max(DENSE_CELLS_PER_POINT * data.len()) {
+            GridLayout::Dense
+        } else {
+            GridLayout::Sparse
+        };
+        Self::build_into(data, geom, layout)
+    }
+
+    /// Build with an explicit layout (the automatic threshold is the
+    /// right default; tests and benches use this to pin both paths on
+    /// identical inputs).
+    pub fn build_with_layout(data: &[Point2], eps: f64, layout: GridLayout) -> Self {
+        Self::build_into(data, Self::geometry_for(data, eps), layout)
+    }
+
+    fn geometry_for(data: &[Point2], eps: f64) -> GridGeometry {
         assert!(
             eps.is_finite() && eps > 0.0,
             "eps must be finite and positive"
@@ -224,60 +356,100 @@ impl GridIndex {
         // boundary fall inside the last cell without clamping artifacts.
         let nx = (((bounds.max_x - bounds.min_x) / eps).floor() as usize) + 1;
         let ny = (((bounds.max_y - bounds.min_y) / eps).floor() as usize) + 1;
-        // The dense cell array G is O(nx * ny); an eps far below the data
-        // spacing would blow it up. 2^28 cells ~ 2 GB of G, the practical
-        // ceiling on the simulated 5 GB device.
+        // Cell ids must fit the kernels' u32 id arrays; 2^28 cells (~2 GB
+        // of dense G, the practical ceiling on the simulated 5 GB device)
+        // remains the documented limit for both layouts.
         assert!(
             nx.checked_mul(ny).is_some_and(|c| c <= 1 << 28),
             "grid of {nx} x {ny} cells exceeds the 2^28-cell limit; \
              eps {eps} is too small relative to the data extent"
         );
+        GridGeometry {
+            eps,
+            origin_x: bounds.min_x,
+            origin_y: bounds.min_y,
+            nx,
+            ny,
+        }
+    }
 
+    fn build_into(data: &[Point2], geom: GridGeometry, layout: GridLayout) -> Self {
         let mut index = GridIndex {
-            geom: GridGeometry {
-                eps,
-                origin_x: bounds.min_x,
-                origin_y: bounds.min_y,
-                nx,
-                ny,
-            },
-            cells: vec![CellRange::EMPTY; nx * ny],
+            geom,
+            layout,
+            ranges: Vec::new(),
             lookup: vec![0; data.len()],
             non_empty: Vec::new(),
             max_per_cell: 0,
         };
+        match layout {
+            GridLayout::Dense => index.build_dense(data),
+            GridLayout::Sparse => index.build_sparse(data),
+        }
+        index
+    }
+
+    /// Dense construction: a two-pass counting sort, `O(|D| + nx·ny)`
+    /// time and memory. Within each cell, `A` keeps ids in ascending
+    /// (data) order — the batching scheme's strided sampling relies on it.
+    fn build_dense(&mut self, data: &[Point2]) {
+        let n_cells = self.geom.nx * self.geom.ny;
+        self.ranges = vec![CellRange::EMPTY; n_cells];
 
         // Pass 1: histogram cell populations.
-        let mut counts = vec![0u32; nx * ny];
+        let mut counts = vec![0u32; n_cells];
         for p in data {
-            counts[index.cell_of(p)] += 1;
+            counts[self.cell_of(p)] += 1;
         }
 
         // Exclusive prefix sum -> per-cell start offsets, and cell ranges.
         let mut offset = 0u32;
         for (h, &c) in counts.iter().enumerate() {
             if c > 0 {
-                index.cells[h] = CellRange {
-                    start: offset,
-                    end: offset + c,
-                };
-                index.non_empty.push(h as u32);
-                index.max_per_cell = index.max_per_cell.max(c as usize);
+                self.ranges[h] = CellRange::new(offset, offset + c);
+                self.non_empty.push(h as u32);
+                self.max_per_cell = self.max_per_cell.max(c as usize);
             }
             offset += c;
         }
 
         // Pass 2: scatter point ids into A. Using a cursor per cell keeps
-        // ids in ascending order within each cell (data order), which the
-        // batching scheme's strided sampling relies on.
-        let mut cursor: Vec<u32> = index.cells.iter().map(|r| r.start).collect();
+        // ids in ascending order within each cell (data order).
+        let mut cursor: Vec<u32> = self.ranges.iter().map(|r| r.start).collect();
         for (i, p) in data.iter().enumerate() {
-            let h = index.cell_of(p);
-            index.lookup[cursor[h] as usize] = i as u32;
+            let h = self.cell_of(p);
+            self.lookup[cursor[h] as usize] = i as u32;
             cursor[h] += 1;
         }
+    }
 
-        index
+    /// Sparse construction: sort `(cell, id)` pairs, `O(|D| log |D|)` time
+    /// and O(|D|) memory — never touches nx·ny. The sort key makes `A`
+    /// identical to the dense build's: cells ascending, ids in data order
+    /// within each cell.
+    fn build_sparse(&mut self, data: &[Point2]) {
+        let mut order: Vec<(u32, u32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (self.cell_of(p) as u32, i as u32))
+            .collect();
+        order.sort_unstable();
+
+        let k_estimate = order.len().min(64);
+        self.non_empty = Vec::with_capacity(k_estimate);
+        self.ranges = Vec::with_capacity(k_estimate);
+        let mut run_start = 0u32;
+        for (k, &(h, id)) in order.iter().enumerate() {
+            self.lookup[k] = id;
+            let next_differs = order.get(k + 1).is_none_or(|&(h2, _)| h2 != h);
+            if next_differs {
+                let end = k as u32 + 1;
+                self.non_empty.push(h);
+                self.ranges.push(CellRange::new(run_start, end));
+                self.max_per_cell = self.max_per_cell.max((end - run_start) as usize);
+                run_start = end;
+            }
+        }
     }
 
     /// Cell width ε the grid was built for.
@@ -295,9 +467,29 @@ impl GridIndex {
         self.geom
     }
 
-    /// The cell array `G`.
-    pub fn cells(&self) -> &[CellRange] {
-        &self.cells
+    /// The layout actually built (dense below the documented threshold,
+    /// sparse above it — or whatever [`Self::build_with_layout`] forced).
+    pub fn layout(&self) -> GridLayout {
+        self.layout
+    }
+
+    /// The cell array `G`, as a layout-agnostic borrowed view — the form
+    /// the kernels consume.
+    pub fn cells_view(&self) -> CellsView<'_> {
+        match self.layout {
+            GridLayout::Dense => CellsView::Dense(&self.ranges),
+            GridLayout::Sparse => CellsView::Sparse {
+                keys: &self.non_empty,
+                ranges: &self.ranges,
+            },
+        }
+    }
+
+    /// The `[start, end)` range of cell `h` into [`Self::lookup`]
+    /// (`EMPTY` if the cell holds no points). O(1) dense, O(log k) sparse.
+    #[inline]
+    pub fn range_of(&self, h: usize) -> CellRange {
+        self.cells_view().range_of(h as u32)
     }
 
     /// The lookup array `A` of point ids grouped by cell.
@@ -359,9 +551,10 @@ impl GridIndex {
     #[inline]
     pub fn query_visit(&self, data: &[Point2], q: &Point2, mut visit: impl FnMut(u32)) {
         let eps_sq = self.geom.eps * self.geom.eps;
+        let view = self.cells_view();
         let (cells, n) = self.neighbor_cells(self.cell_of(q));
         for &h in &cells[..n] {
-            let range = self.cells[h as usize];
+            let range = view.range_of(h);
             for &id in &self.lookup[range.start as usize..range.end as usize] {
                 if data[id as usize].distance_sq(q) <= eps_sq {
                     visit(id);
@@ -381,7 +574,7 @@ impl GridIndex {
     pub fn stats(&self) -> GridStats {
         let non_empty = self.non_empty.len();
         GridStats {
-            total_cells: self.cells.len(),
+            total_cells: self.geom.nx * self.geom.ny,
             non_empty_cells: non_empty,
             max_points_per_cell: self.max_per_cell,
             avg_points_per_non_empty_cell: if non_empty == 0 {
@@ -417,40 +610,44 @@ mod tests {
     #[test]
     fn lookup_is_a_permutation_of_ids() {
         let data = demo_points();
-        let g = GridIndex::build(&data, 0.5);
-        let mut ids = g.lookup().to_vec();
-        ids.sort_unstable();
-        assert_eq!(ids, (0..data.len() as u32).collect::<Vec<_>>());
+        for layout in [GridLayout::Dense, GridLayout::Sparse] {
+            let g = GridIndex::build_with_layout(&data, 0.5, layout);
+            let mut ids = g.lookup().to_vec();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..data.len() as u32).collect::<Vec<_>>());
+        }
     }
 
     #[test]
     fn cell_ranges_partition_lookup() {
         let data = demo_points();
-        let g = GridIndex::build(&data, 0.5);
-        let total: usize = g.cells().iter().map(|r| r.len()).sum();
-        assert_eq!(total, data.len());
-        // Ranges of non-empty cells are disjoint and ordered.
-        let mut prev_end = 0;
-        for &h in g.non_empty_cells() {
-            let r = g.cells()[h as usize];
-            assert_eq!(r.start, prev_end, "ranges must be contiguous in cell order");
-            assert!(r.end > r.start);
-            prev_end = r.end;
+        for layout in [GridLayout::Dense, GridLayout::Sparse] {
+            let g = GridIndex::build_with_layout(&data, 0.5, layout);
+            // Ranges of non-empty cells are disjoint, ordered, and cover A.
+            let mut prev_end = 0;
+            for &h in g.non_empty_cells() {
+                let r = g.range_of(h as usize);
+                assert_eq!(r.start, prev_end, "ranges must be contiguous in cell order");
+                assert!(r.end > r.start);
+                prev_end = r.end;
+            }
+            assert_eq!(prev_end as usize, data.len());
         }
-        assert_eq!(prev_end as usize, data.len());
     }
 
     #[test]
     fn every_point_is_in_its_own_cell_range() {
         let data = demo_points();
-        let g = GridIndex::build(&data, 0.5);
-        for (i, p) in data.iter().enumerate() {
-            let r = g.cells()[g.cell_of(p)];
-            let members = &g.lookup()[r.start as usize..r.end as usize];
-            assert!(
-                members.contains(&(i as u32)),
-                "point {i} missing from its cell"
-            );
+        for layout in [GridLayout::Dense, GridLayout::Sparse] {
+            let g = GridIndex::build_with_layout(&data, 0.5, layout);
+            for (i, p) in data.iter().enumerate() {
+                let r = g.range_of(g.cell_of(p));
+                let members = &g.lookup()[r.start as usize..r.end as usize];
+                assert!(
+                    members.contains(&(i as u32)),
+                    "point {i} missing from its cell ({layout:?})"
+                );
+            }
         }
     }
 
@@ -458,15 +655,87 @@ mod tests {
     fn query_matches_brute_force() {
         let data = demo_points();
         for eps in [0.2, 0.5, 1.0, 3.0] {
-            let g = GridIndex::build(&data, eps);
-            for q in &data {
-                assert_eq!(
-                    sorted(g.query(&data, q)),
-                    brute_force_neighbors(&data, q, eps),
-                    "eps = {eps}, q = {q:?}"
-                );
+            for layout in [GridLayout::Dense, GridLayout::Sparse] {
+                let g = GridIndex::build_with_layout(&data, eps, layout);
+                for q in &data {
+                    assert_eq!(
+                        sorted(g.query(&data, q)),
+                        brute_force_neighbors(&data, q, eps),
+                        "eps = {eps}, q = {q:?}, layout = {layout:?}"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn sparse_build_is_observably_identical_to_dense() {
+        // Same A, same schedule, same stats, same per-cell ranges — only
+        // the G representation differs. (The cross-crate property test in
+        // hybrid-dbscan-core runs this over the adversarial generator
+        // families; this is the unit-sized anchor.)
+        let data = demo_points();
+        for eps in [0.2, 0.5, 1.0, 3.0] {
+            let d = GridIndex::build_with_layout(&data, eps, GridLayout::Dense);
+            let s = GridIndex::build_with_layout(&data, eps, GridLayout::Sparse);
+            assert_eq!(d.lookup(), s.lookup(), "eps = {eps}");
+            assert_eq!(d.non_empty_cells(), s.non_empty_cells());
+            assert_eq!(d.stats(), s.stats());
+            assert_eq!(d.geometry(), s.geometry());
+            for h in 0..d.dims().0 * d.dims().1 {
+                assert_eq!(d.range_of(h), s.range_of(h), "cell {h}, eps = {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn layout_auto_selection_follows_threshold() {
+        // Few points spread far apart at tiny eps: nx*ny explodes past
+        // the dense budget and the sparse layout must be chosen.
+        let data = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1000.0, 1000.0),
+            Point2::new(500.0, 250.0),
+        ];
+        let sparse = GridIndex::build(&data, 0.125);
+        assert_eq!(sparse.layout(), GridLayout::Sparse);
+        assert!(
+            sparse.stats().total_cells > DENSE_CELLS_MIN.max(DENSE_CELLS_PER_POINT * data.len())
+        );
+        // The same points at a large eps stay dense.
+        let dense = GridIndex::build(&data, 500.0);
+        assert_eq!(dense.layout(), GridLayout::Dense);
+        // Both answer queries identically to brute force.
+        for q in &data {
+            assert_eq!(
+                sorted(sparse.query(&data, q)),
+                sorted(dense.query(&data, q))
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_memory_is_independent_of_cell_count() {
+        // The sparse G stores one range per non-empty cell even when the
+        // grid has millions of cells.
+        let data = vec![Point2::new(0.0, 0.0), Point2::new(4000.0, 4000.0)];
+        let g = GridIndex::build(&data, 0.5); // ~64M cells
+        assert_eq!(g.layout(), GridLayout::Sparse);
+        assert_eq!(g.cells_view().stored_ranges(), 2);
+        assert!(g.stats().total_cells > 60_000_000);
+    }
+
+    #[test]
+    fn cells_view_probe_reads_model() {
+        let dense = CellsView::Dense(&[]);
+        assert_eq!(dense.probe_reads(), 0);
+        let keys: Vec<u32> = (0..1000).collect();
+        let ranges = vec![CellRange::EMPTY; 1000];
+        let sparse = CellsView::Sparse {
+            keys: &keys,
+            ranges: &ranges,
+        };
+        assert_eq!(sparse.probe_reads(), 10); // ceil(log2(1001))
     }
 
     #[test]
@@ -521,15 +790,17 @@ mod tests {
     #[test]
     fn stats_reflect_population() {
         let data = demo_points();
-        let g = GridIndex::build(&data, 0.5);
-        let s = g.stats();
-        assert_eq!(s.non_empty_cells, g.non_empty_cells().len());
-        assert!(
-            s.max_points_per_cell >= 2,
-            "two points share the (0,0) cell"
-        );
-        assert!(s.avg_points_per_non_empty_cell >= 1.0);
-        assert_eq!(s.total_cells, g.dims().0 * g.dims().1);
+        for layout in [GridLayout::Dense, GridLayout::Sparse] {
+            let g = GridIndex::build_with_layout(&data, 0.5, layout);
+            let s = g.stats();
+            assert_eq!(s.non_empty_cells, g.non_empty_cells().len());
+            assert!(
+                s.max_points_per_cell >= 2,
+                "two points share the (0,0) cell"
+            );
+            assert!(s.avg_points_per_non_empty_cell >= 1.0);
+            assert_eq!(s.total_cells, g.dims().0 * g.dims().1);
+        }
     }
 
     #[test]
@@ -581,8 +852,26 @@ mod tests {
     #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "malformed CellRange")]
-    fn malformed_cell_range_len_is_caught() {
+    fn malformed_cell_range_len_is_caught_in_debug() {
         let r = CellRange { start: 5, end: 3 };
         let _ = r.len();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "malformed CellRange")]
+    fn malformed_cell_range_construction_is_caught_in_debug() {
+        let _ = CellRange::new(5, 3);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn malformed_cell_range_len_saturates_in_release() {
+        // The release-mode hazard this guards: `wrapping_sub` would report
+        // a length near u32::MAX and a slice of A by [start, start + len)
+        // would run far out of bounds. Saturating keeps `len` total.
+        let r = CellRange { start: 5, end: 3 };
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
     }
 }

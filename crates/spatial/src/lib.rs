@@ -22,9 +22,11 @@ pub mod kdtree;
 pub mod point;
 pub mod presort;
 pub mod rtree;
+pub mod soa;
 
 pub use aabb::Aabb;
-pub use grid::{GridGeometry, GridIndex, GridStats};
+pub use grid::{CellRange, CellsView, GridGeometry, GridIndex, GridLayout, GridStats};
 pub use kdtree::KdTree;
 pub use point::Point2;
 pub use rtree::{RTree, RTreeStats};
+pub use soa::{PointStore, PointsView};

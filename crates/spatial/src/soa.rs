@@ -1,0 +1,108 @@
+//! Structure-of-arrays point store for the ε-neighborhood hot path.
+//!
+//! The kernels' inner loop touches only coordinates — never whole
+//! [`Point2`] values — and it touches them in long runs (every candidate
+//! of a cell range). Splitting `xs` and `ys` into separate contiguous
+//! slices lets the host-side simulation of those loops autovectorize: the
+//! `|dx| ≤ ε` axis filter and the squared-distance accumulation each
+//! become a stride-1 stream over one f64 array, instead of a gather of
+//! every other lane of an interleaved `(x, y)` layout. (On a real GPU the
+//! same split is what makes the loads coalesce; see the accelerator
+//! guide's SoA discussion.)
+//!
+//! The store is built once per clustering run, right after the spatial
+//! presort, from the same sorted array that is uploaded to the device —
+//! the SoA mirror is a host-side layout decision and adds no modeled
+//! transfer.
+
+use crate::point::Point2;
+
+/// Owned SoA mirror of a point array: `xs[i]`/`ys[i]` are the coordinates
+/// of point `i`.
+#[derive(Debug, Clone, Default)]
+pub struct PointStore {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PointStore {
+    /// Build the SoA mirror of `points` (same ids, same order).
+    pub fn from_points(points: &[Point2]) -> Self {
+        PointStore {
+            xs: points.iter().map(|p| p.x).collect(),
+            ys: points.iter().map(|p| p.y).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Borrowed view for kernels (`Copy`, captured by value like the
+    /// other device-constant parameters).
+    pub fn view(&self) -> PointsView<'_> {
+        PointsView {
+            xs: &self.xs,
+            ys: &self.ys,
+        }
+    }
+}
+
+/// Borrowed SoA view of a point array.
+#[derive(Debug, Clone, Copy)]
+pub struct PointsView<'a> {
+    pub xs: &'a [f64],
+    pub ys: &'a [f64],
+}
+
+impl PointsView<'_> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Materialize point `i` (for result emission and non-hot-path code).
+    #[inline]
+    pub fn get(&self, i: usize) -> Point2 {
+        Point2::new(self.xs[i], self.ys[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_points() {
+        let pts = vec![
+            Point2::new(1.0, -2.0),
+            Point2::new(0.5, 0.25),
+            Point2::new(-3.5, 7.0),
+        ];
+        let store = PointStore::from_points(&pts);
+        assert_eq!(store.len(), 3);
+        let v = store.view();
+        assert_eq!(v.len(), 3);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(v.get(i), *p);
+            assert_eq!(v.xs[i].to_bits(), p.x.to_bits());
+            assert_eq!(v.ys[i].to_bits(), p.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PointStore::from_points(&[]);
+        assert!(store.is_empty());
+        assert!(store.view().is_empty());
+    }
+}

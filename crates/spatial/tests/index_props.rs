@@ -39,13 +39,36 @@ proptest! {
         let expect: Vec<u32> = (0..data.len() as u32).collect();
         prop_assert_eq!(a, expect);
         // Cell ranges partition A and every member lies in its cell.
-        let total: usize = grid.cells().iter().map(|r| r.len()).sum();
+        let total: usize = grid
+            .non_empty_cells()
+            .iter()
+            .map(|&h| grid.range_of(h as usize).len())
+            .sum();
         prop_assert_eq!(total, data.len());
         for &h in grid.non_empty_cells() {
-            let r = grid.cells()[h as usize];
+            let r = grid.range_of(h as usize);
             for &id in &grid.lookup()[r.start as usize..r.end as usize] {
                 prop_assert_eq!(grid.cell_of(&data[id as usize]), h as usize);
             }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_layouts_are_observably_equivalent(
+        data in points_strategy(),
+        e in 1u32..40,
+    ) {
+        use spatial::GridLayout;
+        let eps = e as f64 / 10.0;
+        let dense = GridIndex::build_with_layout(&data, eps, GridLayout::Dense);
+        let sparse = GridIndex::build_with_layout(&data, eps, GridLayout::Sparse);
+        prop_assert_eq!(dense.lookup(), sparse.lookup());
+        prop_assert_eq!(dense.non_empty_cells(), sparse.non_empty_cells());
+        prop_assert_eq!(dense.stats(), sparse.stats());
+        prop_assert_eq!(dense.max_points_per_cell(), sparse.max_points_per_cell());
+        let (nx, ny) = dense.dims();
+        for h in 0..nx * ny {
+            prop_assert_eq!(dense.range_of(h), sparse.range_of(h), "cell {}", h);
         }
     }
 

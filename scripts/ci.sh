@@ -42,8 +42,10 @@ step "differential quick (RAYON_NUM_THREADS=1)" \
     env RAYON_NUM_THREADS=1 cargo test -p hybrid-dbscan-core --test differential -q
 step "differential quick (RAYON_NUM_THREADS=4)" \
     env RAYON_NUM_THREADS=4 cargo test -p hybrid-dbscan-core --test differential -q
-# Benchmark smoke tier: one tiny-scale trial of the full S1/S2/S3 suite,
-# compared against the checked-in baseline (results/baselines/smoke.json).
+# Benchmark smoke tier: one tiny-scale trial of the full S1/S2/S3 suite
+# plus the hot-path micro workload (grid build per layout, single kernel
+# launches, table ingest — DESIGN.md §11), compared against the
+# checked-in baseline (results/baselines/smoke.json).
 # The step is fatal if the suite crashes or emits a document the shared
 # parser rejects; regression gating is decided inside the binary, which
 # exits nonzero on a deterministic-stage regression only under

@@ -13,6 +13,7 @@ pub mod figure4;
 pub mod figure5;
 pub mod figure6;
 pub mod micro;
+pub mod profile;
 pub mod regress;
 pub mod scenarios;
 pub mod schedule;

@@ -81,7 +81,9 @@ pub const SUITE: &[Workload] = &[
     },
 ];
 
-fn kernel_name(k: KernelChoice) -> &'static str {
+/// Stable JSON/display name of a kernel variant (shared with `repro
+/// profile`, whose documents must use the same ids as the bench suite).
+pub fn kernel_name(k: KernelChoice) -> &'static str {
     match k {
         KernelChoice::Global => "global",
         KernelChoice::Shared => "shared",

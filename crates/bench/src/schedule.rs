@@ -43,12 +43,25 @@ pub fn print(opts: &Options) {
         );
         print!("{}", handle.gpu.schedule.render_gantt(100));
         println!(
-            "serial sum of ops: {:.1} ms -> overlapped makespan: {:.1} ms ({:.2}x)\n",
+            "serial sum of ops: {:.1} ms -> overlapped makespan: {:.1} ms ({:.2}x)",
             handle.gpu.schedule.serial_time().as_millis(),
             handle.gpu.schedule.makespan.as_millis(),
             handle.gpu.schedule.serial_time().as_secs()
                 / handle.gpu.schedule.makespan.as_secs().max(1e-12)
         );
+        let path = handle.gpu.schedule.critical_path();
+        let path_ms: f64 = path.iter().map(|o| (o.end - o.start).as_millis()).sum();
+        let legend: Vec<String> = path
+            .iter()
+            .map(|o| format!("{}#{}", o.label, o.chain))
+            .collect();
+        println!(
+            "critical path: {} of {} ops, {path_ms:.1} ms ({:.0}% of makespan)",
+            path.len(),
+            handle.gpu.schedule.ops.len(),
+            path_ms / handle.gpu.schedule.makespan.as_millis().max(1e-12) * 100.0
+        );
+        println!("  {}\n", legend.join(" -> "));
     }
     if let Some(rec) = &recorder {
         opts.write_observability(rec);

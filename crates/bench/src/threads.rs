@@ -43,6 +43,24 @@ pub struct SweepRow {
     pub modeled_s: f64,
     pub clusters: usize,
     pub result_pairs: usize,
+    /// Serial fraction of `build_table` from an extra profiled (untimed)
+    /// run: wall time with < 2 pool tasks in flight (see `obs::analyze`).
+    pub serial_fraction_build: f64,
+    /// Mean per-worker busy % over the profiled window.
+    pub worker_util_pct: f64,
+    /// Total chunks claimed by threads other than the submitter.
+    pub pool_steals: u64,
+}
+
+/// Speedup guarded against degenerate baselines: a tiny workload can
+/// time a stage at ~0 s, and a raw division would put `inf`/`NaN` into
+/// BENCH_threads.json. Degenerate points report 1.0 (no claim).
+fn safe_speedup(base_s: f64, cur_s: f64) -> f64 {
+    if !base_s.is_finite() || !cur_s.is_finite() || base_s < 1e-9 || cur_s < 1e-9 {
+        1.0
+    } else {
+        base_s / cur_s
+    }
 }
 
 /// Run one sweep point: `trials` full pipelines on a `threads`-sized
@@ -84,6 +102,9 @@ fn measure(points: &[spatial::Point2], eps: f64, threads: usize, trials: usize) 
                 modeled_s: handle.gpu.modeled_time.as_secs(),
                 clusters: clustering.num_clusters() as usize,
                 result_pairs: handle.gpu.result_pairs,
+                serial_fraction_build: 1.0,
+                worker_util_pct: 0.0,
+                pool_steals: 0,
             });
         }
         let n = trials.max(1) as f64;
@@ -91,6 +112,43 @@ fn measure(points: &[spatial::Point2], eps: f64, threads: usize, trials: usize) 
         row.build_table_s = build_s / n;
         row.dbscan_s = dbscan_s / n;
         row.disjoint_set_s = ds_s / n;
+
+        // One extra *untimed* run under the pool profiler for the
+        // attribution columns (profiling shifts wall times, so it never
+        // shares a run with the timed trials). The determinism policy
+        // says instrumentation must not move modeled bits — checked here
+        // on every sweep point.
+        let rec = std::sync::Arc::new(obs::Recorder::new());
+        let outer = rec.span("threads_profile", "bench");
+        let profiled =
+            HybridDbscan::new(&device, HybridConfig::default()).with_recorder(rec.clone());
+        let session = rayon::profile::profile_pool();
+        let handle = profiled.build_table(points, eps).expect("profiled build");
+        let pool_profile = session.finish();
+        drop(outer);
+        assert_eq!(
+            handle.gpu.modeled_time.as_secs().to_bits(),
+            row.modeled_bits,
+            "profiling changed modeled time bits at {threads} threads"
+        );
+        rec.record_pool_profile(&pool_profile);
+        let analysis = obs::analyze::analyze(&rec);
+        row.serial_fraction_build = analysis
+            .stages
+            .iter()
+            .find(|s| s.name == "build_table")
+            .map_or(1.0, |s| s.serial_fraction);
+        row.worker_util_pct = if analysis.workers.is_empty() {
+            0.0
+        } else {
+            analysis
+                .workers
+                .iter()
+                .map(|w| w.utilization_pct)
+                .sum::<f64>()
+                / analysis.workers.len() as f64
+        };
+        row.pool_steals = analysis.workers.iter().map(|w| w.steals).sum();
         row
     })
 }
@@ -157,12 +215,15 @@ fn render_json(
         w.field_float("disjoint_set_ms", r.disjoint_set_s * 1e3);
         w.field_float(
             "speedup_build_table",
-            base.build_table_s / r.build_table_s.max(1e-12),
+            safe_speedup(base.build_table_s, r.build_table_s),
         );
         w.field_float(
             "speedup_disjoint_set",
-            base.disjoint_set_s / r.disjoint_set_s.max(1e-12),
+            safe_speedup(base.disjoint_set_s, r.disjoint_set_s),
         );
+        w.field_float("serial_fraction_build", r.serial_fraction_build);
+        w.field_float("worker_util_pct", r.worker_util_pct);
+        w.field_uint("pool_steals", r.pool_steals);
         w.field_float("modeled_time_ms", r.modeled_s * 1e3);
         w.field_uint("modeled_time_bits", r.modeled_bits);
         w.field_uint("clusters", r.clusters as u64);
@@ -186,6 +247,8 @@ pub fn print(opts: &Options) {
         "Threads",
         "build_table",
         "speedup",
+        "serial frac",
+        "util",
         "DBSCAN",
         "disjoint-set",
         "speedup",
@@ -195,10 +258,15 @@ pub fn print(opts: &Options) {
         t.row(vec![
             r.threads.to_string(),
             fmt_secs(r.build_table_s),
-            format!("{:.2}x", base.build_table_s / r.build_table_s.max(1e-12)),
+            format!("{:.2}x", safe_speedup(base.build_table_s, r.build_table_s)),
+            format!("{:.2}", r.serial_fraction_build),
+            format!("{:.0}%", r.worker_util_pct),
             fmt_secs(r.dbscan_s),
             fmt_secs(r.disjoint_set_s),
-            format!("{:.2}x", base.disjoint_set_s / r.disjoint_set_s.max(1e-12)),
+            format!(
+                "{:.2}x",
+                safe_speedup(base.disjoint_set_s, r.disjoint_set_s)
+            ),
             fmt_secs(r.modeled_s),
         ]);
     }
@@ -253,6 +321,18 @@ mod tests {
     }
 
     #[test]
+    fn safe_speedup_guards_degenerate_baselines() {
+        assert_eq!(safe_speedup(1.0, 0.5), 2.0);
+        // Zero / near-zero on either side: no claim, never inf/NaN.
+        assert_eq!(safe_speedup(0.0, 0.5), 1.0);
+        assert_eq!(safe_speedup(0.5, 0.0), 1.0);
+        assert_eq!(safe_speedup(0.0, 0.0), 1.0);
+        assert_eq!(safe_speedup(f64::NAN, 1.0), 1.0);
+        assert_eq!(safe_speedup(1.0, f64::INFINITY), 1.0);
+        assert!(safe_speedup(1e-10, 1e-10).is_finite());
+    }
+
+    #[test]
     fn rendered_json_parses_with_shared_parser() {
         // Regression: `bitwise_identical` used to be pushed raw past the
         // writer's comma state, so the following `"sweep"` key had no
@@ -268,6 +348,9 @@ mod tests {
                 modeled_s: 0.05,
                 clusters: 7,
                 result_pairs: 1234,
+                serial_fraction_build: 1.0,
+                worker_util_pct: 0.0,
+                pool_steals: 0,
             },
             SweepRow {
                 threads: 4,
@@ -278,6 +361,9 @@ mod tests {
                 modeled_s: 0.05,
                 clusters: 7,
                 result_pairs: 1234,
+                serial_fraction_build: 0.4,
+                worker_util_pct: 62.5,
+                pool_steals: 9,
             },
         ];
         let opts = Options::default();
@@ -289,6 +375,14 @@ mod tests {
         let sweep = doc.get("sweep").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(sweep.len(), 2);
         assert_eq!(sweep[1].get("threads").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(
+            sweep[1].get("pool_steals").and_then(JsonValue::as_u64),
+            Some(9)
+        );
+        assert!(sweep[1]
+            .get("serial_fraction_build")
+            .and_then(JsonValue::as_f64)
+            .is_some());
         assert_eq!(
             doc.get("workload")
                 .and_then(|w| w.get("dataset"))

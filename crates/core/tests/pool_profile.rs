@@ -1,0 +1,164 @@
+//! Pool-profiler integration: Chrome-trace worker lanes and the
+//! serial-fraction diagnosis (`obs::analyze`).
+//!
+//! Three properties pinned here:
+//!
+//! 1. Exported pool lanes are genuine per-worker timelines — within one
+//!    `tid` under `POOL_PID`, task events never overlap (a worker runs
+//!    one chunk at a time).
+//! 2. A deliberately serialized workload (single-threaded pool, so every
+//!    chunk takes the sequential fast path) diagnoses as almost entirely
+//!    serial: serial fraction > 0.9.
+//! 3. An embarrassingly parallel workload (wide pool, sleep-bound chunks
+//!    that overlap in wall time even on a single CPU) diagnoses as mostly
+//!    parallel: serial fraction < 0.3.
+//!
+//! Sleeps rather than spins keep property 3 robust on one-core CI
+//! machines: sleeping workers overlap in wall time without needing
+//! hardware parallelism.
+
+use obs::analyze::analyze;
+use obs::json::{parse, JsonValue};
+use obs::Recorder;
+use rayon::prelude::*;
+use std::time::Duration;
+
+/// Collect `(tid, ts, dur)` for every pool task event in a Chrome trace.
+fn pool_task_events(trace: &JsonValue) -> Vec<(u64, f64, f64)> {
+    let events = trace
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    events
+        .iter()
+        .filter(|e| {
+            e.get("pid").and_then(JsonValue::as_u64) == Some(obs::chrome::POOL_PID)
+                && e.get("ph").and_then(JsonValue::as_str) == Some("X")
+        })
+        .map(|e| {
+            (
+                e.get("tid").and_then(JsonValue::as_u64).expect("tid"),
+                e.get("ts").and_then(JsonValue::as_f64).expect("ts"),
+                e.get("dur").and_then(JsonValue::as_f64).expect("dur"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn worker_lanes_in_chrome_trace_are_non_overlapping() {
+    let rec = Recorder::new();
+    let session = rayon::profile::profile_pool();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool view");
+    pool.install(|| {
+        // 64 items at 4 threads -> 16 chunks; each sleeps so chunks last
+        // long enough that an intra-lane overlap bug would be visible.
+        (0..64u32)
+            .into_par_iter()
+            .for_each(|_| std::thread::sleep(Duration::from_millis(1)));
+    });
+    rec.record_pool_profile(&session.finish());
+
+    let trace = parse(&rec.chrome_trace_json()).expect("valid trace JSON");
+    let mut events = pool_task_events(&trace);
+    assert!(!events.is_empty(), "profiled run produced no pool events");
+
+    // Group by lane (tid), then check each lane's timeline in ts order.
+    events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let lanes: std::collections::BTreeSet<u64> = events.iter().map(|e| e.0).collect();
+    assert!(lanes.len() >= 2, "expected several worker lanes: {lanes:?}");
+    for pair in events.windows(2) {
+        let (tid_a, ts_a, dur_a) = pair[0];
+        let (tid_b, ts_b, _) = pair[1];
+        if tid_a != tid_b {
+            continue;
+        }
+        // 0.01 us of slack for the {:.3} rounding of ts/dur on export.
+        assert!(
+            ts_a + dur_a <= ts_b + 0.01,
+            "lane {tid_a}: task [{ts_a}, {}] overlaps task starting at {ts_b}",
+            ts_a + dur_a
+        );
+    }
+}
+
+#[test]
+fn serialized_workload_diagnoses_high_serial_fraction() {
+    let rec = Recorder::new();
+    let session = rayon::profile::profile_pool();
+    {
+        let _stage = rec.span("serial_stage", "host");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool view");
+        pool.install(|| {
+            // A 1-thread pool takes the sequential fast path: no two pool
+            // tasks are ever in flight, so the whole stage is serial.
+            (0..8u32)
+                .into_par_iter()
+                .for_each(|_| std::thread::sleep(Duration::from_millis(1)));
+        });
+    }
+    rec.record_pool_profile(&session.finish());
+
+    let analysis = analyze(&rec);
+    let stage = analysis
+        .stages
+        .iter()
+        .find(|s| s.name == "serial_stage")
+        .expect("serial_stage analyzed");
+    assert!(
+        stage.serial_fraction > 0.9,
+        "serialized workload should be diagnosed serial: {stage:?}"
+    );
+    assert!(
+        stage.amdahl_max_speedup < 1.2,
+        "a serial stage has no Amdahl headroom: {stage:?}"
+    );
+}
+
+#[test]
+fn parallel_workload_diagnoses_low_serial_fraction() {
+    let rec = Recorder::new();
+    // Build the pool before opening the stage span so thread spawn time
+    // does not count against the stage window.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool view");
+    let session = rayon::profile::profile_pool();
+    {
+        let _stage = rec.span("parallel_stage", "host");
+        pool.install(|| {
+            // ~96 ms of sleep-bound work across 4 workers: at least two
+            // tasks are in flight for nearly the whole stage.
+            (0..32u32)
+                .into_par_iter()
+                .for_each(|_| std::thread::sleep(Duration::from_millis(3)));
+        });
+    }
+    rec.record_pool_profile(&session.finish());
+
+    let analysis = analyze(&rec);
+    let stage = analysis
+        .stages
+        .iter()
+        .find(|s| s.name == "parallel_stage")
+        .expect("parallel_stage analyzed");
+    assert!(
+        stage.serial_fraction < 0.3,
+        "parallel workload should be diagnosed parallel: {stage:?}"
+    );
+    assert!(
+        stage.amdahl_max_speedup > 2.0,
+        "a parallel stage has Amdahl headroom: {stage:?}"
+    );
+    assert!(
+        !analysis.workers.is_empty(),
+        "per-worker utilization table missing: {analysis:?}"
+    );
+}

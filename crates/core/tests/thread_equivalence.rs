@@ -89,6 +89,18 @@ proptest! {
                 threads, eps, minpts
             );
         }
+        // And once with pool profiling enabled: instrumentation must not
+        // perturb any schedule-independent output (determinism policy —
+        // the profiler only observes).
+        let session = rayon::profile::profile_pool();
+        let profiled = run_at(4, &data, eps, minpts);
+        let profile = session.finish();
+        prop_assert_eq!(
+            &base, &profiled,
+            "pool profiling perturbed results at 4 threads (eps={}, minpts={}, \
+             {} pool tasks recorded)",
+            eps, minpts, profile.total_tasks()
+        );
         // Sanity: the fingerprint is not vacuous.
         prop_assert_eq!(base.table_points, data.len());
         prop_assert_eq!(base.labels.len(), data.len());

@@ -87,6 +87,53 @@ impl Schedule {
         labels
     }
 
+    /// The critical path through the schedule: start from the op that
+    /// finishes last and walk backwards, each step picking the
+    /// latest-finishing unvisited op that ends at or before the current
+    /// op's start and shares its chain, stream, or engine — the three
+    /// constraints the scheduler can serialize on. Returned in execution
+    /// order. The path's total duration is the shortest the makespan
+    /// could be without restructuring those dependencies, which is what
+    /// a throughput diagnosis needs: ops *off* the path are free to grow
+    /// into their slack.
+    pub fn critical_path(&self) -> Vec<ScheduledOp> {
+        if self.ops.is_empty() {
+            return Vec::new();
+        }
+        let mut cur = 0usize;
+        for (i, o) in self.ops.iter().enumerate() {
+            if o.end > self.ops[cur].end {
+                cur = i;
+            }
+        }
+        let mut visited = vec![false; self.ops.len()];
+        visited[cur] = true;
+        let mut path = vec![cur];
+        loop {
+            let c = self.ops[cur];
+            let mut best: Option<usize> = None;
+            for (i, o) in self.ops.iter().enumerate() {
+                if visited[i] || o.end > c.start {
+                    continue;
+                }
+                let linked = o.chain == c.chain || o.stream == c.stream || o.engine == c.engine;
+                if linked && best.is_none_or(|b| o.end > self.ops[b].end) {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    visited[i] = true;
+                    path.push(i);
+                    cur = i;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path.iter().map(|&i| self.ops[i]).collect()
+    }
+
     /// Render the schedule as an ASCII Gantt chart, one row per engine,
     /// `width` columns spanning the makespan. Each op is drawn with its
     /// chain number (mod 10); idle time is `.`.
@@ -428,6 +475,40 @@ mod tests {
         assert_eq!(s.op_labels(), vec!["kernel", "sort", "d2h", "construct"]);
         let g = s.render_gantt(40);
         assert!(g.contains("ops: kernel, sort, d2h, construct"), "{g}");
+    }
+
+    #[test]
+    fn critical_path_spans_single_chain() {
+        let mut t = Timeline::new(3);
+        let s = schedule_chains(&mut t, &[batch_chain(1.0, 0.5, 2.0, 1.0)], 3);
+        let path = s.critical_path();
+        // One chain: the path is the whole chain, in order.
+        let labels: Vec<&str> = path.iter().map(|o| o.label).collect();
+        assert_eq!(labels, vec!["kernel", "sort", "d2h", "construct"]);
+        let total: SimDuration = path.iter().map(|o| o.end - o.start).sum();
+        assert_eq!(total.as_secs(), s.makespan.as_secs());
+    }
+
+    #[test]
+    fn critical_path_crosses_streams_through_shared_engine() {
+        // Compute-bound chains on different streams: the path must chain
+        // through the shared Compute engine, ending at the last kernel.
+        let mut t = Timeline::new(3);
+        let chains = vec![batch_chain(2.0, 0.0, 0.0, 0.0); 3];
+        let s = schedule_chains(&mut t, &chains, 3);
+        let path = s.critical_path();
+        let total: SimDuration = path.iter().map(|o| o.end - o.start).sum();
+        assert_eq!(total.as_secs(), 6.0, "{path:?}");
+        for w in path.windows(2) {
+            assert!(w[1].start >= w[0].end);
+        }
+    }
+
+    #[test]
+    fn critical_path_of_empty_schedule_is_empty() {
+        let mut t = Timeline::new(1);
+        let s = schedule_chains(&mut t, &[], 3);
+        assert!(s.critical_path().is_empty());
     }
 
     #[test]

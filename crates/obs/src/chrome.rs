@@ -11,6 +11,10 @@
 //!   overlap.
 //! * **pid 1 — "host (wall time)"**: one lane per OS thread that recorded
 //!   spans, timestamps in wall microseconds since the recorder's epoch.
+//! * **pid 2 — "pool workers (wall time)"**: one lane per pool worker
+//!   thread captured by a profiling session ([`rayon::profile`]), each
+//!   task event tagged with its region label and whether it was stolen.
+//!   Present only when a pool profile was ingested.
 //!
 //! All events are complete (`"ph": "X"`) duration events plus `"M"`
 //! metadata records naming the processes and lanes.
@@ -21,6 +25,7 @@ use gpu_sim::timeline::Engine;
 
 pub const DEVICE_PID: u64 = 0;
 pub const HOST_PID: u64 = 1;
+pub const POOL_PID: u64 = 2;
 
 /// Stable lane (tid) assignment for device engines.
 pub fn engine_tid(engine: Engine) -> u64 {
@@ -60,6 +65,7 @@ pub fn export(rec: &Recorder) -> String {
     let device_ops = rec.device_ops();
     let spans = rec.spans();
     let thread_names = rec.thread_names();
+    let pool_lanes = rec.pool_lanes();
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -69,6 +75,15 @@ pub fn export(rec: &Recorder) -> String {
     // Process names.
     metadata_event(&mut w, "process_name", DEVICE_PID, 0, "device (sim time)");
     metadata_event(&mut w, "process_name", HOST_PID, 0, "host (wall time)");
+    if !pool_lanes.is_empty() {
+        metadata_event(
+            &mut w,
+            "process_name",
+            POOL_PID,
+            0,
+            "pool workers (wall time)",
+        );
+    }
 
     // Device lane names, one per engine actually used, in tid order.
     let mut lanes: Vec<Engine> = Vec::new();
@@ -91,6 +106,12 @@ pub fn export(rec: &Recorder) -> String {
     // Host lane names.
     for (tid, name) in thread_names.iter().enumerate() {
         metadata_event(&mut w, "thread_name", HOST_PID, tid as u64, name);
+    }
+
+    // Pool worker lane names (tid = lane index in ingestion order, which
+    // the recorder keeps sorted by worker name).
+    for (tid, lane) in pool_lanes.iter().enumerate() {
+        metadata_event(&mut w, "thread_name", POOL_PID, tid as u64, &lane.name);
     }
 
     // Device events.
@@ -132,6 +153,26 @@ pub fn export(rec: &Recorder) -> String {
         }
         w.end_object();
         w.end_object();
+    }
+
+    // Pool worker task events, one lane per worker.
+    for (tid, lane) in pool_lanes.iter().enumerate() {
+        for ev in &lane.events {
+            w.begin_object();
+            w.field_str("name", ev.label);
+            w.field_str("cat", "pool");
+            w.field_str("ph", "X");
+            w.field_float("ts", ev.start_us);
+            w.field_float("dur", ev.dur_us);
+            w.field_uint("pid", POOL_PID);
+            w.field_uint("tid", tid as u64);
+            w.key("args");
+            w.begin_object();
+            w.field_bool("stolen", ev.stolen);
+            w.field_float("queue_us", ev.queue_us);
+            w.end_object();
+            w.end_object();
+        }
     }
 
     w.end_array();
@@ -199,5 +240,36 @@ mod tests {
         let rec = Recorder::new();
         let json = export(&rec);
         assert!(json.contains(r#""traceEvents":["#), "{json}");
+        // No pool profile ingested → no pool process in the trace.
+        assert!(!json.contains("pool workers"), "{json}");
+    }
+
+    #[test]
+    fn pool_lanes_export_under_their_own_pid() {
+        use crate::{PoolTaskEvent, PoolWorkerLane};
+        let rec = Recorder::new();
+        rec.record_pool_lanes(
+            500.0,
+            vec![PoolWorkerLane {
+                name: "rayon-worker-0".into(),
+                busy_us: 120.0,
+                tasks: 1,
+                steals: 1,
+                events: vec![PoolTaskEvent {
+                    label: "par_iter",
+                    start_us: 10.0,
+                    dur_us: 120.0,
+                    stolen: true,
+                    queue_us: 3.0,
+                }],
+                ..Default::default()
+            }],
+        );
+        let json = export(&rec);
+        assert!(json.contains(r#""pool workers (wall time)""#), "{json}");
+        assert!(json.contains(r#""rayon-worker-0""#), "{json}");
+        assert!(json.contains(r#""cat":"pool""#), "{json}");
+        assert!(json.contains(r#""stolen":true"#), "{json}");
+        assert!(json.contains(&format!(r#""pid":{POOL_PID}"#)), "{json}");
     }
 }

@@ -110,9 +110,12 @@ impl JsonWriter {
     }
 
     /// Float with microsecond-grade precision; NaN/inf degrade to 0.
+    /// Values that round to zero at 3 decimals lose their sign — `-0.0`
+    /// (e.g. a clipped-interval sum) must not emit as `-0.000`.
     pub fn float(&mut self, v: f64) {
         self.pre_value();
         if v.is_finite() {
+            let v = if v > -0.0005 && v <= 0.0 { 0.0 } else { v };
             let _ = write!(self.buf, "{v:.3}");
         } else {
             self.buf.push('0');
@@ -157,9 +160,12 @@ impl Default for JsonWriter {
 // ---------------------------------------------------------------------
 
 /// A parsed JSON value. Numbers are `f64` — sufficient for every document
-/// the workspace emits (3-decimal floats and counts far below 2^53); the
-/// one u64 bit-pattern field (`modeled_time_bits`) is validated for
-/// parseability only, never re-read through this type.
+/// the workspace emits (3-decimal floats and counts far below 2^53).
+/// Full 64-bit patterns do not fit: `BENCH_threads.json` emits its
+/// numeric `modeled_time_bits` for parseability validation only (never
+/// re-read through this type), and `PROFILE.json` — which must be a
+/// byte-exact fixed point of `parse → to_json` — carries the same field
+/// as a hex *string* instead.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     Null,
@@ -459,6 +465,19 @@ mod tests {
         w.float(f64::INFINITY);
         w.end_array();
         assert_eq!(w.finish(), "[0,0]");
+    }
+
+    #[test]
+    fn negative_zero_emits_unsigned() {
+        // A clipped-interval sum can produce -0.0; "-0.000" is valid
+        // JSON but reads as a bug in every report that embeds it.
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(-0.0);
+        w.float(-0.0004);
+        w.float(-0.001);
+        w.end_array();
+        assert_eq!(w.finish(), "[0.000,0.000,-0.001]");
     }
 
     #[test]

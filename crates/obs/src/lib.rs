@@ -20,6 +20,7 @@
 //! Instrumentation is opt-in and cheap when absent: producers hold an
 //! `Option<Arc<Recorder>>` and skip all recording when it is `None`.
 
+pub mod analyze;
 pub mod bench;
 pub mod chrome;
 pub mod json;
@@ -50,12 +51,45 @@ pub struct DeviceOp {
     pub dur_us: f64,
 }
 
+/// One pool task execution re-based onto the recorder's wall epoch.
+#[derive(Debug, Clone)]
+pub struct PoolTaskEvent {
+    /// Region label (`"par_iter"`, `"sort_merge"`, `"join"`, `"scope"`).
+    pub label: &'static str,
+    /// Wall microseconds since the **recorder** epoch.
+    pub start_us: f64,
+    pub dur_us: f64,
+    pub stolen: bool,
+    pub queue_us: f64,
+}
+
+/// One worker thread's timeline and counters from a pool profile.
+#[derive(Debug, Clone, Default)]
+pub struct PoolWorkerLane {
+    pub name: String,
+    pub busy_us: f64,
+    pub park_us: f64,
+    pub queue_wait_us: f64,
+    pub steals: u64,
+    pub local_pops: u64,
+    pub parks: u64,
+    pub tasks: u64,
+    /// Sorted by `start_us`; lanes never self-overlap (one thread runs
+    /// chunks sequentially).
+    pub events: Vec<PoolTaskEvent>,
+}
+
 #[derive(Default)]
 struct Inner {
     spans: Vec<SpanRecord>,
     device_ops: Vec<DeviceOp>,
     /// Dense registry of OS threads that recorded spans; index = tid.
     threads: Vec<(ThreadId, String)>,
+    /// Worker lanes ingested from a pool profile (one per thread that
+    /// executed or waited for pool work during the profiled window).
+    pool_lanes: Vec<PoolWorkerLane>,
+    /// Length of the pool profiling session, wall microseconds.
+    pool_span_us: f64,
 }
 
 /// Thread-safe sink for spans, device-timeline operations, and metrics.
@@ -128,6 +162,69 @@ impl Recorder {
                 dur_us: (op.end - op.start).as_secs() * 1e6,
             });
         }
+    }
+
+    /// Ingest a finished pool profiling session ([`rayon::profile`]):
+    /// re-bases every event from the session epoch onto this recorder's
+    /// epoch (so pool lanes align with host spans in the Chrome trace)
+    /// and folds the counters into the metrics registry
+    /// (`pool.steals`, `pool.local_pops`, `pool.parks`, `pool.workers`).
+    pub fn record_pool_profile(&self, profile: &rayon::profile::PoolProfile) {
+        let shift = self.wall_us_at(profile.epoch);
+        let lanes: Vec<PoolWorkerLane> = profile
+            .workers
+            .iter()
+            .map(|w| PoolWorkerLane {
+                name: w.name.clone(),
+                busy_us: w.busy_us,
+                park_us: w.park_us,
+                queue_wait_us: w.queue_wait_us,
+                steals: w.steals,
+                local_pops: w.local_pops,
+                parks: w.parks,
+                tasks: w.tasks,
+                events: w
+                    .events
+                    .iter()
+                    .map(|e| PoolTaskEvent {
+                        label: e.label,
+                        start_us: (e.start_us + shift).max(0.0),
+                        dur_us: e.dur_us,
+                        stolen: e.stolen,
+                        queue_us: e.queue_us,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let m = self.metrics();
+        m.counter_add("pool.steals", profile.total_steals());
+        m.counter_add(
+            "pool.local_pops",
+            lanes.iter().map(|l| l.local_pops).sum::<u64>(),
+        );
+        m.counter_add("pool.parks", lanes.iter().map(|l| l.parks).sum::<u64>());
+        m.gauge_set("pool.workers", lanes.len() as f64);
+        self.record_pool_lanes(profile.span_us, lanes);
+    }
+
+    /// Directly attach pool worker lanes (the thin layer under
+    /// [`record_pool_profile`][Self::record_pool_profile]; also lets
+    /// tests construct lanes without running the real pool).
+    pub fn record_pool_lanes(&self, span_us: f64, lanes: Vec<PoolWorkerLane>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.pool_span_us = inner.pool_span_us.max(span_us);
+        inner.pool_lanes.extend(lanes);
+    }
+
+    /// Snapshot of the ingested pool worker lanes.
+    pub fn pool_lanes(&self) -> Vec<PoolWorkerLane> {
+        self.inner.lock().unwrap().pool_lanes.clone()
+    }
+
+    /// Wall length of the ingested pool profiling session (µs); 0 when
+    /// no profile was recorded.
+    pub fn pool_span_us(&self) -> f64 {
+        self.inner.lock().unwrap().pool_span_us
     }
 
     /// Snapshot of all finished spans, in a **stable order**: sorted by

@@ -1,6 +1,7 @@
-//! Plain-text run summary: span tree, device-engine utilization, metrics.
+//! Plain-text run summary: span tree, device-engine utilization, pool
+//! worker utilization (when a pool profile was ingested), metrics.
 
-use crate::{DeviceOp, Recorder, SpanRecord};
+use crate::{DeviceOp, PoolWorkerLane, Recorder, SpanRecord};
 use gpu_sim::timeline::Engine;
 use std::fmt::Write as _;
 
@@ -64,6 +65,36 @@ fn write_device_summary(out: &mut String, ops: &[DeviceOp]) {
     }
 }
 
+fn write_pool_summary(out: &mut String, span_us: f64, lanes: &[PoolWorkerLane]) {
+    let steals: u64 = lanes.iter().map(|l| l.steals).sum();
+    let tasks: u64 = lanes.iter().map(|l| l.tasks).sum();
+    let _ = writeln!(
+        out,
+        "pool workers: {} lanes, session {:.3} ms, {tasks} tasks ({steals} stolen)",
+        lanes.len(),
+        span_us / 1e3
+    );
+    for lane in lanes {
+        let busy_pct = if span_us > 0.0 {
+            lane.busy_us / span_us * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} busy {:>5.1}%  park {:>9.3} ms  queue-wait {:>8.3} ms  \
+             {:>5} tasks ({} stolen, {} local)",
+            lane.name,
+            busy_pct,
+            lane.park_us / 1e3,
+            lane.queue_wait_us / 1e3,
+            lane.tasks,
+            lane.steals,
+            lane.local_pops,
+        );
+    }
+}
+
 /// Render the full text report for a recorder.
 pub fn render(rec: &Recorder) -> String {
     let spans = rec.spans();
@@ -78,6 +109,10 @@ pub fn render(rec: &Recorder) -> String {
     }
     if !ops.is_empty() {
         write_device_summary(&mut out, &ops);
+    }
+    let pool_lanes = rec.pool_lanes();
+    if !pool_lanes.is_empty() {
+        write_pool_summary(&mut out, rec.pool_span_us(), &pool_lanes);
     }
     let metrics_text = metrics.to_text();
     if !metrics_text.is_empty() {
@@ -121,5 +156,37 @@ mod tests {
         let rec = Recorder::new();
         let text = rec.text_report();
         assert_eq!(text, "== run summary ==\n");
+    }
+
+    #[test]
+    fn pool_summary_lists_each_worker_lane() {
+        use crate::PoolWorkerLane;
+        let rec = Recorder::new();
+        rec.record_pool_lanes(
+            1000.0,
+            vec![
+                PoolWorkerLane {
+                    name: "main".into(),
+                    busy_us: 900.0,
+                    tasks: 3,
+                    local_pops: 3,
+                    ..Default::default()
+                },
+                PoolWorkerLane {
+                    name: "rayon-worker-0".into(),
+                    busy_us: 250.0,
+                    park_us: 700.0,
+                    parks: 2,
+                    steals: 1,
+                    tasks: 1,
+                    ..Default::default()
+                },
+            ],
+        );
+        let text = rec.text_report();
+        assert!(text.contains("pool workers: 2 lanes"), "{text}");
+        assert!(text.contains("4 tasks (1 stolen)"), "{text}");
+        assert!(text.contains("rayon-worker-0"), "{text}");
+        assert!(text.contains("busy  90.0%"), "{text}");
     }
 }

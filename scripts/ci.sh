@@ -54,6 +54,14 @@ step "differential quick (RAYON_NUM_THREADS=4)" \
 step "bench smoke" ./target/release/repro bench \
     --scale 0.002 --trials 1 --warmup 0 --csv target/ci-bench \
     --compare results/baselines/smoke.json
+# Profiler smoke tier: the suite workloads under the pool profiler at
+# 1/2/4/8 threads (DESIGN.md §12). The binary itself is the gate: it
+# exits nonzero if profiling moves modeled time bits at any thread count
+# (determinism policy) or if the emitted PROFILE.json is not a fixed
+# point of the shared JSON parser.
+step "profile smoke (RAYON_NUM_THREADS=4)" \
+    env RAYON_NUM_THREADS=4 ./target/release/repro profile \
+    --scale 0.002 --trials 1 --csv target/ci-profile
 
 step "fmt" cargo fmt --all --check
 

@@ -126,7 +126,7 @@ pub(crate) fn for_each_chunked(n: usize, f: &(impl Fn(usize) + Sync)) {
         return;
     }
     let chunk = chunk_len(n);
-    run_parallel(n.div_ceil(chunk), |c| {
+    run_parallel(n.div_ceil(chunk), "par_iter", |c| {
         let lo = c * chunk;
         let hi = (lo + chunk).min(n);
         for i in lo..hi {

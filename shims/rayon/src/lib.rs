@@ -29,9 +29,19 @@
 //! inside user closures (atomic append order, lock acquisition order) —
 //! consumers of such effects must canonicalize, which in this workspace
 //! means sorting `DeviceAppendBuffer` drains before use.
+//!
+//! ## Profiling
+//!
+//! [`profile::profile_pool`] opens an introspection session recording
+//! per-worker task/steal/park telemetry into a [`profile::PoolProfile`]
+//! snapshot. Profiling observes the schedule but never alters it: when
+//! disabled the hot path pays one relaxed atomic load, and enabling it
+//! only adds timestamping around chunk execution — outputs stay bitwise
+//! identical either way (see the determinism policy above).
 
 mod iter;
 mod pool;
+pub mod profile;
 mod sort;
 
 pub use pool::{

@@ -29,11 +29,13 @@
 //! concurrency of regions submitted inside it via a thread-local
 //! override, which workers inherit while executing those chunks.
 
+use crate::profile;
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Safety valve on configured pool sizes (oversubscription is allowed —
 /// single-core hosts still exercise real concurrency — but bounded).
@@ -103,10 +105,21 @@ pub(crate) struct Region {
     completed: Condvar,
     /// First panic payload out of any chunk.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Profiler label naming what kind of work this region carries.
+    label: &'static str,
+    /// The submitting thread: a chunk claimed by any *other* thread
+    /// counts as a steal in the profiler (this pool has no per-worker
+    /// deques — the shared claim cursor plays the role of the deque, and
+    /// "someone else ran my chunk" is the steal event).
+    submitter: std::thread::ThreadId,
+    /// Creation time, recorded only while profiling: the basis for the
+    /// region's queue-wait (creation → first claim) measurement.
+    submitted_at: Option<Instant>,
+    first_claim: AtomicBool,
 }
 
 impl Region {
-    fn new(task: RegionTask, chunks: usize, limit: usize) -> Arc<Region> {
+    fn new(task: RegionTask, chunks: usize, limit: usize, label: &'static str) -> Arc<Region> {
         Arc::new(Region {
             task,
             chunks,
@@ -116,6 +129,10 @@ impl Region {
             done: Mutex::new(0),
             completed: Condvar::new(),
             panic: Mutex::new(None),
+            label,
+            submitter: std::thread::current().id(),
+            submitted_at: profile::enabled().then(Instant::now),
+            first_claim: AtomicBool::new(false),
         })
     }
 
@@ -165,13 +182,31 @@ fn run_region(region: &Region) {
     // Inherit the region's cap so nested parallelism inside a chunk sees
     // the same effective thread count on every executing thread.
     let prev = OVERRIDE.with(|o| o.replace(Some(region.limit)));
+    // Profiling observes only: the claim below is the same fetch_add
+    // either way, so instrumentation cannot perturb chunk assignment
+    // (and chunk *content* never depends on assignment — determinism).
+    let profiling = profile::enabled();
+    let stolen = profiling && std::thread::current().id() != region.submitter;
     let mut ran = 0usize;
     loop {
         let i = region.next.fetch_add(1, Ordering::SeqCst);
         if i >= region.chunks {
             break;
         }
-        region.run_chunk(i);
+        if profiling {
+            let t0 = Instant::now();
+            let queue_wait = if !region.first_claim.swap(true, Ordering::Relaxed) {
+                region
+                    .submitted_at
+                    .map(|at| t0.saturating_duration_since(at))
+            } else {
+                None
+            };
+            region.run_chunk(i);
+            profile::record_task(region.label, t0, Instant::now(), stolen, queue_wait);
+        } else {
+            region.run_chunk(i);
+        }
         ran += 1;
     }
     OVERRIDE.with(|o| o.set(prev));
@@ -238,7 +273,19 @@ impl Pool {
                     run_region(&region);
                     queue = self.queue.lock().unwrap();
                 }
-                None => queue = self.work.wait(queue).unwrap(),
+                None => {
+                    if profile::enabled() {
+                        // Park interval. `record_park` takes the profile
+                        // lock while we hold the queue lock; the reverse
+                        // nesting never occurs (no profile-lock holder
+                        // touches the queue), so the order is safe.
+                        let t0 = Instant::now();
+                        queue = self.work.wait(queue).unwrap();
+                        profile::record_park(t0, Instant::now());
+                    } else {
+                        queue = self.work.wait(queue).unwrap();
+                    }
+                }
             }
         }
     }
@@ -276,8 +323,10 @@ fn execute_region(pool: &Arc<Pool>, region: Arc<Region>) {
 ///
 /// This is the primitive every parallel iterator/sort bottoms out in.
 /// Chunk *content* must not depend on the thread count — determinism of
-/// everything above relies on chunking being schedule-only.
-pub(crate) fn run_parallel<F: Fn(usize) + Sync>(chunks: usize, task: F) {
+/// everything above relies on chunking being schedule-only. `label`
+/// names the region in pool profiles ([`crate::profile`]); it has no
+/// effect on execution.
+pub(crate) fn run_parallel<F: Fn(usize) + Sync>(chunks: usize, label: &'static str, task: F) {
     if chunks == 0 {
         return;
     }
@@ -301,7 +350,7 @@ pub(crate) fn run_parallel<F: Fn(usize) + Sync>(chunks: usize, task: F) {
         data: (&task as *const F).cast(),
         call: call_chunk::<F>,
     };
-    let region = Region::new(RegionTask::Borrowed(ptr), chunks, limit);
+    let region = Region::new(RegionTask::Borrowed(ptr), chunks, limit, label);
     execute_region(pool, region);
 }
 
@@ -336,7 +385,12 @@ where
     // SAFETY: joined below before `slot`/`oper_a` borrows expire, on both
     // the normal and the `oper_b`-panicked path.
     let job = unsafe { erase_job(job) };
-    let region = Region::new(RegionTask::Owned(vec![Mutex::new(Some(job))]), 1, limit);
+    let region = Region::new(
+        RegionTask::Owned(vec![Mutex::new(Some(job))]),
+        1,
+        limit,
+        "join",
+    );
     pool.submit(&region);
 
     let rb = catch_unwind(AssertUnwindSafe(oper_b));
@@ -401,6 +455,7 @@ impl<'scope> Scope<'scope> {
             RegionTask::Owned(vec![Mutex::new(Some(job))]),
             1,
             self.limit,
+            "scope",
         );
         pool().submit(&region);
         self.pending.lock().unwrap().push(region);

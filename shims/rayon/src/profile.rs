@@ -1,0 +1,400 @@
+//! Opt-in pool introspection: per-worker lifecycle telemetry.
+//!
+//! When a [`ProfileSession`] is active, the pool records, per executing
+//! thread, every chunk execution (wall start/duration, the region's
+//! label, whether the chunk was **stolen** — claimed by a thread other
+//! than the region's submitter — or a **local pop** by the submitter
+//! itself), each region's **queue wait** (submission → first claim), and
+//! every worker **park** interval (condvar wait for work). The snapshot
+//! ([`PoolProfile`]) is plain `std`-only data, so consumers (the `obs`
+//! recorder) need no dependency edge back into this crate's internals.
+//!
+//! ## Determinism contract
+//!
+//! Instrumentation only *observes*: it reads the wall clock and appends
+//! to a side buffer. It never influences chunk claiming order, chunk
+//! contents, or any modeled quantity — the workspace's bitwise
+//! determinism policy (DESIGN.md §12) is pinned by tests that run the
+//! full pipeline with profiling on and off and compare result bits.
+//!
+//! ## Cost model
+//!
+//! Disabled (the default), the pool's hot path pays one relaxed atomic
+//! load per region/park decision and nothing per chunk. Enabled, each
+//! chunk execution adds two `Instant::now()` reads and one short
+//! mutex-guarded append; pool wall times shift by that overhead, modeled
+//! times do not.
+//!
+//! Sessions are serialized by a global lock: [`profile_pool`] blocks
+//! until any other session finishes, so concurrent tests cannot corrupt
+//! each other's snapshots (events from unrelated pool work running
+//! during a session are still captured — the profiler observes the whole
+//! process-wide pool, which is what a scaling diagnosis wants).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One chunk execution on one thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskEvent {
+    /// Region label (`"par_iter"`, `"sort_merge"`, `"join"`, `"scope"`).
+    pub label: &'static str,
+    /// Wall microseconds since the session epoch.
+    pub start_us: f64,
+    pub dur_us: f64,
+    /// Claimed by a thread other than the region's submitter.
+    pub stolen: bool,
+    /// Region queue wait (submission → first claim), attributed to the
+    /// region's first-claimed chunk; 0 for every later chunk.
+    pub queue_us: f64,
+}
+
+/// Aggregated telemetry for one thread that executed pool work.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerProfile {
+    /// OS thread name (`rayon-worker-N`, or the submitter's name).
+    pub name: String,
+    /// Total wall time inside chunk executions.
+    pub busy_us: f64,
+    /// Total wall time parked on the work condvar.
+    pub park_us: f64,
+    /// Total region queue wait attributed to this thread's first claims.
+    pub queue_wait_us: f64,
+    pub steals: u64,
+    pub local_pops: u64,
+    pub parks: u64,
+    pub tasks: u64,
+    /// Per-chunk timeline, sorted by `start_us`.
+    pub events: Vec<TaskEvent>,
+}
+
+/// Snapshot of one profiling session over the global pool.
+#[derive(Debug, Clone)]
+pub struct PoolProfile {
+    /// Session start on the wall clock (lets a consumer with its own
+    /// epoch re-base `start_us` values).
+    pub epoch: Instant,
+    /// Session length (start → finish), wall microseconds.
+    pub span_us: f64,
+    /// One entry per thread that executed chunks or parked, sorted by
+    /// name (numeric-suffix aware, so `rayon-worker-10` follows `-9`).
+    pub workers: Vec<WorkerProfile>,
+}
+
+impl PoolProfile {
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    pub fn total_busy_us(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_us).sum()
+    }
+}
+
+struct SlotData {
+    name: String,
+    busy: Duration,
+    park: Duration,
+    queue_wait: Duration,
+    steals: u64,
+    local_pops: u64,
+    parks: u64,
+    events: Vec<TaskEvent>,
+}
+
+struct ProfState {
+    /// Bumped per session so cached thread-local slot indices from an
+    /// earlier session are never reused against a cleared slot vector.
+    generation: u64,
+    epoch: Instant,
+    slots: Vec<SlotData>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: OnceLock<Mutex<ProfState>> = OnceLock::new();
+static SESSION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// (generation, slot index) cache for the calling thread.
+    static SLOT: Cell<(u64, usize)> = const { Cell::new((0, usize::MAX)) };
+}
+
+fn state() -> &'static Mutex<ProfState> {
+    STATE.get_or_init(|| {
+        Mutex::new(ProfState {
+            generation: 0,
+            epoch: Instant::now(),
+            slots: Vec::new(),
+        })
+    })
+}
+
+/// Cheap hot-path gate: one relaxed load. The pool checks this before
+/// paying for any clock read.
+#[inline]
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn slot_index(st: &mut ProfState) -> usize {
+    let (gen, cached) = SLOT.with(|s| s.get());
+    if gen == st.generation && cached < st.slots.len() {
+        return cached;
+    }
+    let name = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("thread-{}", st.slots.len()));
+    st.slots.push(SlotData {
+        name,
+        busy: Duration::ZERO,
+        park: Duration::ZERO,
+        queue_wait: Duration::ZERO,
+        steals: 0,
+        local_pops: 0,
+        parks: 0,
+        events: Vec::new(),
+    });
+    let idx = st.slots.len() - 1;
+    SLOT.with(|s| s.set((st.generation, idx)));
+    idx
+}
+
+fn us_since(epoch: Instant, at: Instant) -> f64 {
+    at.saturating_duration_since(epoch).as_secs_f64() * 1e6
+}
+
+/// Record one chunk execution. Called by the pool after the chunk ran;
+/// never called unless [`enabled`] was true at claim time.
+pub(crate) fn record_task(
+    label: &'static str,
+    start: Instant,
+    end: Instant,
+    stolen: bool,
+    queue_wait: Option<Duration>,
+) {
+    let mut st = state().lock().unwrap();
+    let epoch = st.epoch;
+    let idx = slot_index(&mut st);
+    let d = &mut st.slots[idx];
+    d.busy += end.saturating_duration_since(start);
+    if stolen {
+        d.steals += 1;
+    } else {
+        d.local_pops += 1;
+    }
+    let queue = queue_wait.unwrap_or(Duration::ZERO);
+    d.queue_wait += queue;
+    d.events.push(TaskEvent {
+        label,
+        start_us: us_since(epoch, start),
+        dur_us: end.saturating_duration_since(start).as_secs_f64() * 1e6,
+        stolen,
+        queue_us: queue.as_secs_f64() * 1e6,
+    });
+}
+
+/// Record one park (idle wait on the work condvar) interval.
+///
+/// Called with the pool's queue lock held; the profile lock nests inside
+/// it (the reverse order never occurs — see `Pool::worker_loop`).
+pub(crate) fn record_park(start: Instant, end: Instant) {
+    let mut st = state().lock().unwrap();
+    let idx = slot_index(&mut st);
+    let d = &mut st.slots[idx];
+    d.park += end.saturating_duration_since(start);
+    d.parks += 1;
+}
+
+/// An active profiling session. Dropping (or [`finish`ing][Self::finish])
+/// the session disables recording; holding it serializes other would-be
+/// sessions.
+pub struct ProfileSession {
+    epoch: Instant,
+    _guard: MutexGuard<'static, ()>,
+}
+
+/// Start profiling the global pool. Blocks until any concurrent session
+/// finishes; clears telemetry from previous sessions.
+pub fn profile_pool() -> ProfileSession {
+    let guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    let epoch = Instant::now();
+    {
+        let mut st = state().lock().unwrap();
+        st.generation += 1;
+        st.epoch = epoch;
+        st.slots.clear();
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+    ProfileSession {
+        epoch,
+        _guard: guard,
+    }
+}
+
+/// Sort key that orders `rayon-worker-2` before `rayon-worker-10`.
+fn name_key(name: &str) -> (String, u64) {
+    match name.rfind('-') {
+        Some(i) => match name[i + 1..].parse::<u64>() {
+            Ok(n) => (name[..i].to_string(), n),
+            Err(_) => (name.to_string(), 0),
+        },
+        None => (name.to_string(), 0),
+    }
+}
+
+impl ProfileSession {
+    /// Stop recording and take the snapshot.
+    pub fn finish(self) -> PoolProfile {
+        ENABLED.store(false, Ordering::SeqCst);
+        let span_us = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let mut st = state().lock().unwrap();
+        let mut workers: Vec<WorkerProfile> = st
+            .slots
+            .drain(..)
+            .map(|s| {
+                let mut events = s.events;
+                events.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+                WorkerProfile {
+                    name: s.name,
+                    busy_us: s.busy.as_secs_f64() * 1e6,
+                    park_us: s.park.as_secs_f64() * 1e6,
+                    queue_wait_us: s.queue_wait.as_secs_f64() * 1e6,
+                    steals: s.steals,
+                    local_pops: s.local_pops,
+                    parks: s.parks,
+                    tasks: s.steals + s.local_pops,
+                    events,
+                }
+            })
+            .collect();
+        workers.sort_by_key(|w| name_key(&w.name));
+        PoolProfile {
+            epoch: self.epoch,
+            span_us,
+            workers,
+        }
+    }
+}
+
+impl Drop for ProfileSession {
+    fn drop(&mut self) {
+        // A session abandoned without `finish` must still stop recording.
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn spin_us(us: u64) {
+        let end = Instant::now() + Duration::from_micros(us);
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Serializes the tests that assert on the global enabled flag
+    /// *outside* a session (sessions only serialize each other while
+    /// held, so a post-finish `!enabled()` check would race a sibling
+    /// test's fresh session).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn session_captures_tasks_and_disables_on_finish() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let session = profile_pool();
+        assert!(enabled());
+        // Enough items for several SUM_BLOCK-sized chunks — a single
+        // chunk would take the sequential fast path and skip the pool.
+        let sum: u64 = pool.install(|| {
+            (0..20_000u64)
+                .into_par_iter()
+                .map(|i| {
+                    spin_us(1);
+                    i
+                })
+                .sum()
+        });
+        assert_eq!(sum, 19_999 * 20_000 / 2);
+        let profile = session.finish();
+        assert!(!enabled());
+        assert!(profile.total_tasks() > 0, "{profile:?}");
+        assert!(profile.total_busy_us() > 0.0);
+        assert!(profile.span_us > 0.0);
+        // Every task is either a steal or a local pop.
+        for w in &profile.workers {
+            assert_eq!(w.tasks, w.steals + w.local_pops, "{w:?}");
+            assert_eq!(w.tasks as usize, w.events.len());
+        }
+    }
+
+    #[test]
+    fn per_worker_events_are_sorted_and_non_overlapping() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let session = profile_pool();
+        pool.install(|| (0..128u32).into_par_iter().for_each(|_| spin_us(50)));
+        let profile = session.finish();
+        for w in &profile.workers {
+            for pair in w.events.windows(2) {
+                assert!(pair[0].start_us <= pair[1].start_us);
+                // One thread executes chunks sequentially, so its lane
+                // can never self-overlap.
+                assert!(
+                    pair[1].start_us >= pair[0].start_us + pair[0].dur_us - 1e-3,
+                    "overlap in {}: {pair:?}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiling_does_not_change_results() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let values: Vec<f64> = (0..20_000)
+            .map(|i| (i as f64 * 0.37).cos() * 1e-3 + 1.0)
+            .collect();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let plain: f64 = pool.install(|| values.par_iter().sum());
+        let session = profile_pool();
+        let profiled: f64 = pool.install(|| values.par_iter().sum());
+        let _ = session.finish();
+        assert_eq!(plain.to_bits(), profiled.to_bits());
+    }
+
+    #[test]
+    fn dropped_session_disables_profiling() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _session = profile_pool();
+            assert!(enabled());
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn worker_name_sort_is_numeric_suffix_aware() {
+        assert!(name_key("rayon-worker-2") < name_key("rayon-worker-10"));
+        assert!(name_key("main") < name_key("rayon-worker-0"));
+    }
+}

@@ -45,7 +45,7 @@ where
     let n_runs = n.div_ceil(RUN);
     {
         let base = SendPtr::new(v.as_mut_ptr());
-        run_parallel(n_runs, move |r| {
+        run_parallel(n_runs, "sort_runs", move |r| {
             let lo = r * RUN;
             let hi = (lo + RUN).min(n);
             // SAFETY: runs are disjoint; each chunk touches exactly one.
@@ -73,7 +73,7 @@ where
         {
             let src = SendPtr::new(src);
             let dst = SendPtr::new(dst);
-            run_parallel(n_segs, move |s_idx| {
+            run_parallel(n_segs, "sort_merge", move |s_idx| {
                 let (src, dst) = (src.get() as *const T, dst.get());
                 let k0g = s_idx * SEG;
                 let k1g = (k0g + SEG).min(n);

@@ -44,10 +44,12 @@ use gpu_sim::thrust;
 use gpu_sim::time::{SimDuration, SimTime};
 use gpu_sim::timeline::{Engine, Timeline};
 use obs::Recorder;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spatial::grid::{CellRange, CellsView};
 use spatial::presort::spatial_sort_permutation;
 use spatial::{GridIndex, Point2, PointStore};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -721,10 +723,28 @@ impl HybridDbscan {
         );
     }
 
-    /// Run all batches of `plan`. Returns `None` if any batch overflowed
-    /// its buffer (caller re-plans), otherwise the filled builder, the
-    /// per-batch operation chains for scheduling, the kernel profile, and
-    /// the per-batch pair counts.
+    /// Run all batches of `plan` as a wall-clock pipeline mirroring the
+    /// modeled stream schedule: one pool-driven worker per stream, each
+    /// owning its device/pinned buffer pair and executing its batches
+    /// (`l ≡ stream (mod n_buffers)`, the serial loop's exact buffer
+    /// assignment) kernel → sort → D2H → ingest in order. Kernels still
+    /// serialize on the device's compute engine, but the host-side sort,
+    /// staging copy, and table ingest of batch *l* now overlap the kernel
+    /// of batch *l+1* in wall-clock, exactly as the modeled 3-stream
+    /// schedule overlaps them on the timeline.
+    ///
+    /// Returns `None` if any batch overflowed its buffer (caller
+    /// re-plans), otherwise the filled builder, the per-batch operation
+    /// chains for scheduling, the kernel profile, and the per-batch pair
+    /// counts.
+    ///
+    /// INVARIANT (threading policy, DESIGN.md): every outcome a worker
+    /// produces — kernel report, sorted sequence, staged length, modeled
+    /// durations — is a pure function of its batch index, and the drain
+    /// loop below merges them in batch order. The pipeline therefore
+    /// yields bit-identical tables, profiles, and `modeled_time` at every
+    /// thread count, including 1 (where the workers simply run one after
+    /// another).
     #[allow(clippy::too_many_arguments)]
     fn run_batches(
         &self,
@@ -742,91 +762,198 @@ impl HybridDbscan {
         let n_b = shared_batches.map_or(plan.n_batches, |b| b.len().max(1));
         let n_buffers = dev_buffers.len();
         let builder = NeighborTableBuilder::new(eps, store.len(), n_b);
+
+        /// What one batch hands from its stream worker to the drain loop.
+        struct BatchOutcome {
+            /// `None` marks an empty shared-kernel batch (no launch).
+            report: Option<gpu_sim::KernelReport>,
+            sort_time: SimDuration,
+            d2h_time: SimDuration,
+            staged_len: usize,
+        }
+        let outcomes: Vec<Mutex<Option<BatchOutcome>>> =
+            (0..n_b).map(|_| Mutex::new(None)).collect();
+        let abort = AtomicBool::new(false);
+        let overflowed = AtomicBool::new(false);
+        // Lowest-batch-index error among those observed wins, so the
+        // surfaced error does not depend on worker interleaving.
+        let first_error: Mutex<Option<(usize, HybridError)>> = Mutex::new(None);
+
+        let worker = |stream: usize,
+                      buf: &mut DeviceAppendBuffer<NeighborPair>,
+                      stage: &mut PinnedBuffer<NeighborPair>| {
+            let mut l = stream;
+            while l < n_b && !abort.load(Ordering::Relaxed) {
+                buf.reset();
+
+                // Kernel launch (functional execution + modeled duration);
+                // the device's compute engine admits one kernel at a time.
+                let launched = match cfg.kernel {
+                    KernelChoice::Global => {
+                        let kernel = GpuCalcGlobal {
+                            points: store.view(),
+                            grid: g_buf.view(),
+                            lookup: a_buf.as_slice(),
+                            geom: grid.geometry(),
+                            eps,
+                            batch: l,
+                            n_batches: n_b,
+                            result: buf,
+                            skip_dense_at: None,
+                        };
+                        Some(
+                            self.device
+                                .launch(kernel.launch_config(cfg.block_dim), &kernel),
+                        )
+                    }
+                    KernelChoice::Shared => {
+                        let batch_cells: &[u32] =
+                            &shared_batches.expect("shared kernel requires a cell packing")[l];
+                        if batch_cells.is_empty() {
+                            None
+                        } else {
+                            let kernel = GpuCalcShared {
+                                points: store.view(),
+                                grid: g_buf.view(),
+                                lookup: a_buf.as_slice(),
+                                geom: grid.geometry(),
+                                eps,
+                                schedule: batch_cells,
+                                result: buf,
+                            };
+                            Some(
+                                self.device
+                                    .launch(kernel.launch_config(cfg.block_dim), &kernel),
+                            )
+                        }
+                    }
+                };
+                let report = match launched {
+                    None => {
+                        // Empty shared batch: no launch, empty chain.
+                        *outcomes[l].lock() = Some(BatchOutcome {
+                            report: None,
+                            sort_time: SimDuration::ZERO,
+                            d2h_time: SimDuration::ZERO,
+                            staged_len: 0,
+                        });
+                        l += n_buffers;
+                        continue;
+                    }
+                    Some(Ok(report)) => report,
+                    Some(Err(e)) => {
+                        let mut slot = first_error.lock();
+                        if slot.as_ref().is_none_or(|&(l0, _)| l < l0) {
+                            *slot = Some((l, e.into()));
+                        }
+                        abort.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                };
+
+                if buf.overflowed() {
+                    // Deterministic per batch (the append cursor counts
+                    // every attempt); which *worker* notices first is
+                    // schedule-dependent, but the whole pass's outputs
+                    // are discarded on overflow, so only the Ok(None)
+                    // retry signal escapes.
+                    overflowed.store(true, Ordering::Relaxed);
+                    abort.store(true, Ordering::Relaxed);
+                    return;
+                }
+
+                // Host-side sort by key (Thrust), so identical keys are
+                // adjacent before the transfer. INVARIANT (threading
+                // policy, DESIGN.md): this total-order sort is the
+                // canonicalization of the append buffer — block append
+                // order varies with host scheduling, and every
+                // downstream consumer (staging copy, table ingest) sees
+                // only the sorted, schedule-independent sequence.
+                let sort_time = thrust::sort_by_key(&self.device, buf.as_filled_mut_slice());
+
+                // D2H straight into this stream's pinned staging area.
+                // The staging buffer is reused by batch l + n_buffers —
+                // same stream, so reuse serializes by construction
+                // (Algorithm 4's rationale for copying values out into
+                // buffer B).
+                let (staged_len, d2h_time) = buf.download_into(stage);
+
+                // Host: copy the values out of staging into T, off the
+                // driving thread — the builder's lock-free claims let
+                // streams ingest concurrently. The chain op's duration
+                // is modeled from the staged pair count, never measured.
+                builder.ingest_batch(l, &stage.as_slice()[..staged_len]);
+
+                *outcomes[l].lock() = Some(BatchOutcome {
+                    report: Some(report),
+                    sort_time,
+                    d2h_time,
+                    staged_len,
+                });
+                l += n_buffers;
+            }
+        };
+
+        // Drive the stream workers. With one buffer or one thread the
+        // pipeline degenerates to the workers running back to back on
+        // this thread — same batch work, same outcomes.
+        if n_buffers > 1 && rayon::current_num_threads() > 1 {
+            rayon::scope(|s| {
+                for (stream, (buf, stage)) in
+                    dev_buffers.iter_mut().zip(pinned.iter_mut()).enumerate()
+                {
+                    let worker = &worker;
+                    s.spawn(move |_| worker(stream, buf, stage));
+                }
+            });
+        } else {
+            for (stream, (buf, stage)) in dev_buffers.iter_mut().zip(pinned.iter_mut()).enumerate()
+            {
+                worker(stream, buf, stage);
+            }
+        }
+
+        if let Some((_, e)) = first_error.into_inner() {
+            return Err(e);
+        }
+        if overflowed.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+
+        // Drain outcomes in batch index order. `KernelProfile::record`
+        // folds f64 sums and `schedule_chains` consumes chains
+        // positionally, so this ordered merge — not the workers'
+        // completion order — is what keeps `modeled_time_bits` and the
+        // profile bit-identical to the serial loop.
         let mut chains: Vec<Vec<OpSpec>> = Vec::with_capacity(n_b);
         let mut profile = KernelProfile::new();
         let mut per_batch_pairs: Vec<usize> = Vec::with_capacity(n_b);
-
-        for l in 0..n_b {
-            let buf = &mut dev_buffers[l % n_buffers];
-            buf.reset();
-
-            // Kernel launch (functional execution + modeled duration).
-            let report = match cfg.kernel {
-                KernelChoice::Global => {
-                    let kernel = GpuCalcGlobal {
-                        points: store.view(),
-                        grid: g_buf.view(),
-                        lookup: a_buf.as_slice(),
-                        geom: grid.geometry(),
-                        eps,
-                        batch: l,
-                        n_batches: n_b,
-                        result: buf,
-                        skip_dense_at: None,
-                    };
-                    self.device
-                        .launch(kernel.launch_config(cfg.block_dim), &kernel)?
+        for slot in &outcomes {
+            let out = slot
+                .lock()
+                .take()
+                .expect("pipeline finished without an outcome for some batch");
+            match out.report {
+                None => {
+                    chains.push(Vec::new());
+                    per_batch_pairs.push(0);
                 }
-                KernelChoice::Shared => {
-                    let batch_cells: &[u32] =
-                        &shared_batches.expect("shared kernel requires a cell packing")[l];
-                    if batch_cells.is_empty() {
-                        chains.push(Vec::new());
-                        per_batch_pairs.push(0);
-                        continue;
-                    }
-                    let kernel = GpuCalcShared {
-                        points: store.view(),
-                        grid: g_buf.view(),
-                        lookup: a_buf.as_slice(),
-                        geom: grid.geometry(),
-                        eps,
-                        schedule: batch_cells,
-                        result: buf,
-                    };
-                    self.device
-                        .launch(kernel.launch_config(cfg.block_dim), &kernel)?
+                Some(report) => {
+                    profile.record(&report);
+                    per_batch_pairs.push(out.staged_len);
+                    let ingest_time = ingest_time_model(out.staged_len);
+                    chains.push(vec![
+                        OpSpec::new(Engine::Compute, report.duration, "kernel"),
+                        OpSpec::new(Engine::Compute, out.sort_time, "sort"),
+                        OpSpec::new(Engine::D2H, out.d2h_time, "d2h"),
+                        OpSpec::new(
+                            Engine::Host(chains.len() % cfg.host_lanes.max(1)),
+                            ingest_time,
+                            "ingest",
+                        ),
+                    ]);
                 }
-            };
-            profile.record(&report);
-
-            if buf.overflowed() {
-                return Ok(None);
             }
-
-            // Device-side sort by key (Thrust), so identical keys are
-            // adjacent before the transfer. INVARIANT (threading policy,
-            // DESIGN.md): this total-order sort is the canonicalization
-            // of the append buffer — block append order varies with host
-            // scheduling, and every downstream consumer (staging copy,
-            // table ingest) sees only the sorted, schedule-independent
-            // sequence.
-            let sort_time = thrust::sort_by_key(&self.device, buf.as_filled_mut_slice());
-
-            // D2H straight into the pinned staging area. The staging
-            // buffer is reused by batch l + n_streams, which is why the
-            // values must be copied out (Algorithm 4's rationale for
-            // buffer B).
-            let stage = &mut pinned[l % n_buffers];
-            let (staged_len, d2h_time) = buf.download_into(stage);
-            per_batch_pairs.push(staged_len);
-
-            // Host: copy the values out of staging into T. The chain
-            // op's duration is modeled from the staged pair count, never
-            // measured — the schedule makespan feeds `modeled_time`.
-            builder.ingest_batch(l, &stage.as_slice()[..staged_len]);
-            let ingest_time = ingest_time_model(staged_len);
-
-            chains.push(vec![
-                OpSpec::new(Engine::Compute, report.duration, "kernel"),
-                OpSpec::new(Engine::Compute, sort_time, "sort"),
-                OpSpec::new(Engine::D2H, d2h_time, "d2h"),
-                OpSpec::new(
-                    Engine::Host(l % cfg.host_lanes.max(1)),
-                    ingest_time,
-                    "ingest",
-                ),
-            ]);
         }
 
         Ok(Some((builder, chains, profile, per_batch_pairs)))

@@ -18,6 +18,8 @@
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Below these sizes the parallel paths in [`NeighborTableBuilder`] fall
 /// back to the serial scan — the outputs are identical either way (the
@@ -160,24 +162,33 @@ impl NeighborTable {
 }
 
 /// Concurrent, batch-at-a-time builder for [`NeighborTable`].
+///
+/// Ingest is lock-free on the hot path so the stream pipeline's workers
+/// never serialize on a builder-wide mutex: each key is *claimed* with a
+/// CAS on its `owner` slot (which doubles as the duplicate-batch check),
+/// the winning batch then owns that key's range cell outright, and each
+/// batch's value segment lands in its own pre-sized slot. The only mutex
+/// is per-segment and touched exactly once per batch.
 pub struct NeighborTableBuilder {
     eps: f64,
     n_points: usize,
     /// Per-point ranges, *local* to the owning batch's segment until
-    /// finalize rebases them. Interior mutability: batches own disjoint
-    /// point subsets, so entries are written by exactly one thread; the
-    /// mutex only guards the coarse structure.
-    state: Mutex<BuilderState>,
+    /// finalize rebases them. A successful CAS on `owner[i]` is the
+    /// exclusive write ticket for `ranges[i]`.
+    ranges: Vec<UnsafeCell<TableRange>>,
+    /// Which batch wrote each point's range (for rebasing); u32::MAX if
+    /// the point has no entries yet.
+    owner: Vec<AtomicU32>,
+    /// One value segment slot per batch, each written exactly once by its
+    /// own batch — the mutex is never contended, it just makes the
+    /// one-shot hand-off safe.
+    segments: Vec<Mutex<Vec<u32>>>,
 }
 
-struct BuilderState {
-    ranges: Vec<TableRange>,
-    /// Which batch wrote each point's range (for rebasing); u32::MAX if
-    /// the point has no entries.
-    owner: Vec<u32>,
-    /// One value segment per batch.
-    segments: Vec<Vec<u32>>,
-}
+// SAFETY: each `ranges` cell is written only by the thread whose batch
+// won the `owner` CAS for that index, and read only by `finalize`, which
+// consumes `self` (exclusive access after all ingests complete).
+unsafe impl Sync for NeighborTableBuilder {}
 
 impl NeighborTableBuilder {
     /// Create a builder for `n_points` points filled by `n_batches`
@@ -186,11 +197,13 @@ impl NeighborTableBuilder {
         NeighborTableBuilder {
             eps,
             n_points,
-            state: Mutex::new(BuilderState {
-                ranges: vec![TableRange::default(); n_points],
-                owner: vec![u32::MAX; n_points],
-                segments: vec![Vec::new(); n_batches.max(1)],
-            }),
+            ranges: (0..n_points)
+                .map(|_| UnsafeCell::new(TableRange::default()))
+                .collect(),
+            owner: (0..n_points).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            segments: (0..n_batches.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 
@@ -228,26 +241,31 @@ impl NeighborTableBuilder {
                 Self::scan_runs_serial(pairs)
             };
 
-        let mut state = self.state.lock();
+        // Claim each key with a CAS and write its range lock-free: no
+        // builder-wide lock, so concurrent stream workers never contend.
         for (key, range) in local {
             assert!(
                 (key as usize) < self.n_points,
                 "key {key} out of range for {} points",
                 self.n_points
             );
-            assert_eq!(
-                state.owner[key as usize],
+            let claim = self.owner[key as usize].compare_exchange(
                 u32::MAX,
+                batch_idx as u32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            assert!(
+                claim.is_ok(),
                 "key {key} ingested by two batches — strided assignment violated"
             );
-            state.owner[key as usize] = batch_idx as u32;
-            state.ranges[key as usize] = range;
+            // SAFETY: the CAS above makes this thread the unique writer
+            // of this cell; `finalize` reads only after consuming `self`.
+            unsafe { *self.ranges[key as usize].get() = range };
         }
-        assert!(
-            state.segments[batch_idx].is_empty(),
-            "batch {batch_idx} ingested twice"
-        );
-        state.segments[batch_idx] = segment;
+        let mut slot = self.segments[batch_idx].lock();
+        assert!(slot.is_empty(), "batch {batch_idx} ingested twice");
+        *slot = segment;
     }
 
     /// Serial run scan: values in order plus one `(key, local range)` per
@@ -319,12 +337,14 @@ impl NeighborTableBuilder {
 
     /// Concatenate the batch segments into `B` and rebase ranges.
     pub fn finalize(self) -> NeighborTable {
-        let state = self.state.into_inner();
-        let BuilderState {
-            mut ranges,
-            owner,
-            segments,
-        } = state;
+        let eps = self.eps;
+        let mut ranges: Vec<TableRange> = self
+            .ranges
+            .into_iter()
+            .map(UnsafeCell::into_inner)
+            .collect();
+        let owner: Vec<u32> = self.owner.into_iter().map(AtomicU32::into_inner).collect();
+        let segments: Vec<Vec<u32>> = self.segments.into_iter().map(Mutex::into_inner).collect();
 
         // Prefix offsets of each batch's segment within B.
         let mut offsets = Vec::with_capacity(segments.len());
@@ -376,7 +396,7 @@ impl NeighborTableBuilder {
         };
 
         NeighborTable {
-            eps: self.eps,
+            eps,
             ranges,
             values,
         }

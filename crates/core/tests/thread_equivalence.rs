@@ -36,13 +36,23 @@ struct RunFingerprint {
 }
 
 fn run_at(threads: usize, data: &[Point2], eps: f64, minpts: usize) -> RunFingerprint {
+    run_config_at(threads, &HybridConfig::default(), data, eps, minpts)
+}
+
+fn run_config_at(
+    threads: usize,
+    cfg: &HybridConfig,
+    data: &[Point2],
+    eps: f64,
+    minpts: usize,
+) -> RunFingerprint {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("pool view");
     pool.install(|| {
         let device = Device::k20c();
-        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
+        let hybrid = HybridDbscan::new(&device, *cfg);
         let handle = hybrid.build_table(data, eps).expect("build_table");
         let (clustering, _dbscan_time) = HybridDbscan::cluster_with_table(&handle, minpts);
         let ds = dbscan_disjoint_set(&handle.table, minpts);
@@ -104,5 +114,48 @@ proptest! {
         // Sanity: the fingerprint is not vacuous.
         prop_assert_eq!(base.table_points, data.len());
         prop_assert_eq!(base.labels.len(), data.len());
+    }
+
+    /// The pipelined `run_batches` executor: a tiny static buffer forces
+    /// many batches, so with > 1 thread several stream workers run whole
+    /// launch → sort → download → ingest chains concurrently. Every
+    /// schedule-independent output must still match the 1-thread run
+    /// exactly — and a live `ProfileSession` must observe without
+    /// perturbing (the profiled run doubles as the instrumented case).
+    #[test]
+    fn pipelined_batches_identical_at_1_2_and_8_threads(
+        raw in prop::collection::vec((0.0f64..6.0, 0.0f64..6.0), 80..200),
+        eps_scaled in 40u32..110,
+        minpts in 2usize..5,
+    ) {
+        let data: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let eps = eps_scaled as f64 / 100.0;
+        let cfg = HybridConfig {
+            batch: hybrid_dbscan_core::batch::BatchConfig {
+                static_threshold: 0,      // static-buffer path
+                static_buffer_items: 64,  // far below |R|: forces n_batches > 1
+                n_streams: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+
+        let base = run_config_at(1, &cfg, &data, eps, minpts);
+        prop_assert!(
+            base.n_batches > 1,
+            "workload too small to engage the pipeline ({} batches)",
+            base.n_batches
+        );
+        for threads in [2usize, 8] {
+            let session = rayon::profile::profile_pool();
+            let other = run_config_at(threads, &cfg, &data, eps, minpts);
+            let profile = session.finish();
+            prop_assert_eq!(
+                &base, &other,
+                "pipelined run diverged at {} threads (eps={}, minpts={}, \
+                 {} batches, {} pool tasks)",
+                threads, eps, minpts, base.n_batches, profile.total_tasks()
+            );
+        }
     }
 }

@@ -72,8 +72,40 @@ pub(crate) struct DeviceInner {
     pub transfer: TransferModel,
     pub used_bytes: AtomicUsize,
     /// Serializes kernel launches: the simulated compute engine executes
-    /// one kernel at a time, like a single-compute-engine GPU.
+    /// one kernel at a time, like a single-compute-engine GPU. This is
+    /// strictly per-engine accounting of *kernel execution* — host-side
+    /// canonicalization work (e.g. `thrust::sort_by_key`) runs outside
+    /// it, and its modeled Compute-engine serialization is enforced on
+    /// the `schedule_chains` timeline instead.
     pub compute_lock: Mutex<()>,
+}
+
+impl DeviceInner {
+    /// Acquire the compute engine. A contended waiter donates its thread
+    /// to pending data-parallel pool work (the current holder's kernel
+    /// blocks, another stream's sort) instead of parking, so pipelined
+    /// launches from several stream workers keep every host thread busy.
+    pub fn lock_compute(&self) -> std::sync::MutexGuard<'_, ()> {
+        if let Some(guard) = self.compute_lock.try_lock() {
+            return guard;
+        }
+        let mut idle_rounds = 0u32;
+        loop {
+            if let Some(guard) = self.compute_lock.try_lock() {
+                return guard;
+            }
+            if rayon::help_one() {
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds > 64 {
+                    // Nothing to help with: fall back to a real block.
+                    return self.compute_lock.lock();
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
 }
 
 /// Handle to a simulated device. Cheap to clone; all clones share the

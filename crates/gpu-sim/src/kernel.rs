@@ -287,7 +287,7 @@ impl Device {
         kernel: &K,
     ) -> Result<KernelReport, DeviceError> {
         cfg.validate(self.props())?;
-        let _compute_guard = self.inner.compute_lock.lock();
+        let _compute_guard = self.inner.lock_compute();
 
         let props = self.props();
         let model = self.cost_model();

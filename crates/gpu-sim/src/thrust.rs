@@ -37,9 +37,13 @@ pub fn sort_by_key_time(n: usize) -> SimDuration {
 /// `(key << 32) | value` u64 — the same algorithm Thrust's `sort_by_key`
 /// actually runs, and several times faster on the host than a
 /// comparison sort because the pair comparator never executes.
-pub fn sort_by_key(device: &Device, pairs: &mut [(u32, u32)]) -> SimDuration {
-    // Hold the compute engine like any other kernel work.
-    let _guard = device.inner.compute_lock.lock();
+///
+/// The host-side sort does **not** hold the device `compute_lock`: its
+/// modeled Compute-engine serialization is enforced where it belongs, on
+/// the `schedule_chains` timeline ("sort" ops occupy `Engine::Compute`),
+/// while the functional sort parallelizes freely on the pool so one
+/// stream's sort can overlap another stream's kernel wall-clock.
+pub fn sort_by_key(_device: &Device, pairs: &mut [(u32, u32)]) -> SimDuration {
     radix_sort_pairs(pairs);
     sort_by_key_time(pairs.len())
 }
@@ -47,6 +51,11 @@ pub fn sort_by_key(device: &Device, pairs: &mut [(u32, u32)]) -> SimDuration {
 /// Number of pairs below which the std comparison sort beats the radix
 /// passes' fixed costs (two scratch arrays, four 64 Ki histograms).
 const RADIX_MIN_PAIRS: usize = 1 << 12;
+/// Number of pairs below which the parallel scatter machinery (per-chunk
+/// histograms, offset matrix, pool dispatch) costs more than it saves.
+/// Below it the serial paths run — the output is identical either way
+/// (total order ⇒ every correct sort is bitwise-canonical).
+const RADIX_PAR_MIN_PAIRS: usize = 1 << 16;
 
 /// LSD radix sort of `(u32, u32)` pairs in `(key, value)` lexicographic
 /// order: pack each pair into `(key << 32) | value` (u64 order ≡ pair
@@ -60,6 +69,7 @@ fn radix_sort_pairs(pairs: &mut [(u32, u32)]) {
         pairs.sort_unstable();
         return;
     }
+    let parallel = n >= RADIX_PAR_MIN_PAIRS && rayon::current_num_threads() > 1;
     // Presorted-key regime: kernels append result chunks in thread order,
     // so with few host threads the buffer's *keys* are already
     // non-decreasing — only the values inside each equal-key run need
@@ -67,7 +77,11 @@ fn radix_sort_pairs(pairs: &mut [(u32, u32)]) {
     // entirely; with more interleaving the check fails and the generic
     // paths below produce the identical total order.
     if pairs.is_sorted_by_key(|&(k, _)| k) {
-        sort_value_runs(pairs);
+        if parallel {
+            sort_value_runs_parallel(pairs);
+        } else {
+            sort_value_runs(pairs);
+        }
         return;
     }
     // Dense-key regime (result sets: keys are point ids, so
@@ -76,7 +90,15 @@ fn radix_sort_pairs(pairs: &mut [(u32, u32)]) {
     // cache-resident run sorts, beating full-width radix passes.
     let max_key = pairs.iter().map(|&(k, _)| k).max().unwrap_or(0) as usize;
     if max_key < 4 * n {
-        counting_sort_by_key(pairs, max_key + 1);
+        if parallel {
+            par_counting_sort_by_key(pairs, max_key + 1);
+        } else {
+            counting_sort_by_key(pairs, max_key + 1);
+        }
+        return;
+    }
+    if parallel {
+        par_radix_sort_u64(pairs);
         return;
     }
     let mut src: Vec<u64> = pairs
@@ -110,6 +132,232 @@ fn radix_sort_pairs(pairs: &mut [(u32, u32)]) {
     for (p, &x) in pairs.iter_mut().zip(&src) {
         *p = ((x >> 32) as u32, x as u32);
     }
+}
+
+/// Shared mutable base pointer for parallel scatters whose destination
+/// indices are proven disjoint across chunks by the offset construction.
+#[derive(Clone, Copy)]
+struct ScatterPtr<T>(*mut T);
+// SAFETY: every parallel writer targets indices carved out for it alone
+// (digit-major, chunk-minor offset windows / disjoint key runs).
+unsafe impl<T: Send> Send for ScatterPtr<T> {}
+unsafe impl<T: Send> Sync for ScatterPtr<T> {}
+
+impl<T> ScatterPtr<T> {
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Source chunk count for the parallel passes. The output is invariant
+/// to this value — the stable scatter with chunk-major offsets
+/// reproduces exactly the serial left-to-right order — so it may track
+/// the thread count without breaking bitwise thread-equivalence.
+fn par_sort_chunks(n: usize) -> usize {
+    (2 * rayon::current_num_threads())
+        .min(n.div_ceil(1 << 15))
+        .clamp(1, 64)
+}
+
+/// Per-chunk digit histograms: `hists[c][d]` = occurrences of digit `d`
+/// in source chunk `c`. Each chunk's histogram is a pure function of its
+/// slice, so the parallel map is deterministic.
+fn par_digit_histograms<T, D>(
+    src: &[T],
+    n_chunks: usize,
+    n_digits: usize,
+    digit: &D,
+) -> Vec<Vec<u32>>
+where
+    T: Sync,
+    D: Fn(&T) -> usize + Sync,
+{
+    let n = src.len();
+    let chunk_len = n.div_ceil(n_chunks);
+    (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            let mut hist = vec![0u32; n_digits];
+            for x in &src[lo..hi] {
+                hist[digit(x)] += 1;
+            }
+            hist
+        })
+        .collect()
+}
+
+/// Turn per-chunk histograms into per-chunk scatter cursors, in place:
+/// `hists[c][d]` becomes the destination index of chunk `c`'s first
+/// element with digit `d`. Digit-major, chunk-minor — precisely the
+/// order a serial stable counting pass emits, so the parallel scatter is
+/// a bit-exact reproduction of it. Returns the exclusive digit starts
+/// (`starts[d]..starts[d+1]` = digit `d`'s run).
+fn offsets_in_place(hists: &mut [Vec<u32>], n_digits: usize) -> Vec<u32> {
+    let mut starts = Vec::with_capacity(n_digits + 1);
+    let mut total = 0u32;
+    for d in 0..n_digits {
+        starts.push(total);
+        for hist in hists.iter_mut() {
+            let count = hist[d];
+            hist[d] = total;
+            total += count;
+        }
+    }
+    starts.push(total);
+    starts
+}
+
+/// One parallel stable counting pass: scatter `src` into `dst` ordered by
+/// `digit`, stable within equal digits. Chunks write disjoint destination
+/// windows (see [`offsets_in_place`]) so the pass is race-free and
+/// byte-identical to the serial scatter.
+fn par_stable_scatter<T, D>(src: &[T], dst: &mut [T], offsets: &mut [Vec<u32>], digit: &D)
+where
+    T: Copy + Send + Sync,
+    D: Fn(&T) -> usize + Sync,
+{
+    let n = src.len();
+    let n_chunks = offsets.len();
+    let chunk_len = n.div_ceil(n_chunks);
+    let base = ScatterPtr(dst.as_mut_ptr());
+    offsets.par_iter_mut().enumerate().for_each(|(c, cursor)| {
+        let lo = c * chunk_len;
+        let hi = (lo + chunk_len).min(n);
+        for x in &src[lo..hi] {
+            let d = digit(x);
+            // SAFETY: cursor[d] walks this chunk's private window for
+            // digit d; windows are disjoint across (chunk, digit).
+            unsafe { base.get().add(cursor[d] as usize).write(*x) };
+            cursor[d] += 1;
+        }
+    });
+}
+
+/// Parallel LSD radix sort over the packed `(key << 32) | value` u64:
+/// four 16-bit passes, each a per-chunk-histogram-partitioned stable
+/// scatter, with the serial path's constant-digit skip. Produces the
+/// unique `(key, value)` total order — bit-identical to the serial sort.
+fn par_radix_sort_u64(pairs: &mut [(u32, u32)]) {
+    let n = pairs.len();
+    let n_chunks = par_sort_chunks(n);
+    let mut src: Vec<u64> = pairs
+        .par_iter()
+        .map(|&(k, v)| (u64::from(k) << 32) | u64::from(v))
+        .collect();
+    let mut dst: Vec<u64> = vec![0u64; n];
+    for pass in 0..4 {
+        let shift = pass * 16;
+        let digit = |x: &u64| ((x >> shift) & 0xFFFF) as usize;
+        let mut hists = par_digit_histograms(&src, n_chunks, 1 << 16, &digit);
+        // Constant digit ⇒ the scatter would be the identity permutation.
+        let d0 = digit(&src[0]);
+        let d0_total: u32 = hists.iter().map(|h| h[d0]).sum();
+        if d0_total as usize == n {
+            continue;
+        }
+        offsets_in_place(&mut hists, 1 << 16);
+        par_stable_scatter(&src, &mut dst, &mut hists, &digit);
+        std::mem::swap(&mut src, &mut dst);
+    }
+    let base = ScatterPtr(pairs.as_mut_ptr());
+    let chunk_len = n.div_ceil(n_chunks);
+    (0..n_chunks).into_par_iter().for_each(|c| {
+        let lo = c * chunk_len;
+        let hi = (lo + chunk_len).min(n);
+        for (i, &x) in src[lo..hi].iter().enumerate() {
+            // SAFETY: chunks unpack disjoint index ranges.
+            unsafe { base.get().add(lo + i).write(((x >> 32) as u32, x as u32)) };
+        }
+    });
+}
+
+/// Parallel counting sort on the key: a histogram-partitioned stable
+/// scatter of the values into per-key runs, parallel in-run value sorts
+/// (runs are disjoint), and a parallel key write-back over disjoint run
+/// ranges. Same structure — and bit-identical output — as the serial
+/// [`counting_sort_by_key`].
+fn par_counting_sort_by_key(pairs: &mut [(u32, u32)], n_keys: usize) {
+    let n = pairs.len();
+    let n_chunks = par_sort_chunks(n)
+        // Keep the per-chunk histograms (n_chunks × n_keys u32) bounded
+        // by the input's own footprint.
+        .min((2 * n).div_ceil(n_keys))
+        .max(1);
+    if n_chunks < 2 {
+        counting_sort_by_key(pairs, n_keys);
+        return;
+    }
+    let digit = |p: &(u32, u32)| p.0 as usize;
+    let mut hists = par_digit_histograms(pairs, n_chunks, n_keys, &digit);
+    let starts = offsets_in_place(&mut hists, n_keys);
+
+    // Stable scatter of the values into their key runs.
+    let mut values = vec![0u32; n];
+    {
+        let base = ScatterPtr(values.as_mut_ptr());
+        let chunk_len = n.div_ceil(n_chunks);
+        hists.par_iter_mut().enumerate().for_each(|(c, cursor)| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            for &(k, v) in &pairs[lo..hi] {
+                // SAFETY: disjoint (chunk, key) windows, as above.
+                unsafe { base.get().add(cursor[k as usize] as usize).write(v) };
+                cursor[k as usize] += 1;
+            }
+        });
+    }
+
+    // Sort each key's value run and write the keys back; key ranges are
+    // chunked so both loops touch disjoint regions of `values`/`pairs`.
+    let key_chunks = (8 * rayon::current_num_threads()).clamp(1, 256);
+    let keys_per_chunk = n_keys.div_ceil(key_chunks);
+    let vals = ScatterPtr(values.as_mut_ptr());
+    let out = ScatterPtr(pairs.as_mut_ptr());
+    (0..key_chunks).into_par_iter().for_each(|kc| {
+        let k_lo = kc * keys_per_chunk;
+        let k_hi = (k_lo + keys_per_chunk).min(n_keys);
+        for k in k_lo..k_hi {
+            let (s, e) = (starts[k] as usize, starts[k + 1] as usize);
+            if e == s {
+                continue;
+            }
+            // SAFETY: key runs are disjoint slices of `values`, and the
+            // write-back covers the same disjoint range of `pairs`.
+            let run = unsafe { std::slice::from_raw_parts_mut(vals.get().add(s), e - s) };
+            run.sort_unstable();
+            for (i, &v) in run.iter().enumerate() {
+                unsafe { out.get().add(s + i).write((k as u32, v)) };
+            }
+        }
+    });
+}
+
+/// Parallel variant of [`sort_value_runs`]: discover run boundaries with
+/// one serial scan (cheap, branch-predictable), then sort the disjoint
+/// runs on the pool. Each run's sort is a pure function of its contents.
+fn sort_value_runs_parallel(pairs: &mut [(u32, u32)]) {
+    let n = pairs.len();
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let key = pairs[i].0;
+        let start = i;
+        while i < n && pairs[i].0 == key {
+            i += 1;
+        }
+        if i - start > 1 {
+            runs.push((start as u32, i as u32));
+        }
+    }
+    let base = ScatterPtr(pairs.as_mut_ptr());
+    runs.par_iter().for_each(|&(s, e)| {
+        // SAFETY: runs are disjoint subslices.
+        let run =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(s as usize), (e - s) as usize) };
+        run.sort_unstable_by_key(|&(_, v)| v);
+    });
 }
 
 /// Sort each equal-key run by value, in place. Requires keys already
@@ -167,8 +415,10 @@ fn counting_sort_by_key(pairs: &mut [(u32, u32)], n_keys: usize) {
 }
 
 /// Device-side reduction (sum) of a `u64` array, with a modeled duration.
+/// Like [`sort_by_key`], the functional work runs on the host pool
+/// without holding the `compute_lock` — engine serialization is a
+/// property of the modeled timeline, not of host execution.
 pub fn reduce_sum(device: &Device, values: &[u64]) -> (u64, SimDuration) {
-    let _guard = device.inner.compute_lock.lock();
     let sum = values.par_iter().sum();
     // Reduction is bandwidth-bound: one read pass.
     let bytes = std::mem::size_of_val(values) as f64;
@@ -179,7 +429,6 @@ pub fn reduce_sum(device: &Device, values: &[u64]) -> (u64, SimDuration) {
 
 /// Device-side exclusive prefix scan, with a modeled duration.
 pub fn exclusive_scan(device: &Device, values: &[u32]) -> (Vec<u32>, SimDuration) {
-    let _guard = device.inner.compute_lock.lock();
     let mut out = Vec::with_capacity(values.len());
     let mut acc = 0u32;
     for &v in values {

@@ -1,0 +1,189 @@
+//! Parallel-vs-serial sort equivalence: `thrust::sort_by_key` sorts in
+//! total `(key, value)` lexicographic order, whose sorted arrangement is
+//! unique — so the parallel radix/counting/run paths (engaged on large
+//! inputs when the pool has > 1 thread) must produce output *bytewise
+//! identical* to the serial paths and to a std reference sort, on every
+//! input. These tests drive both code paths over the same data via
+//! explicit pool views and compare the bytes.
+//!
+//! Sizes are chosen to cross the internal dispatch thresholds:
+//! `RADIX_MIN_PAIRS = 2^12` (std sort below, radix at and above) and
+//! `RADIX_PAR_MIN_PAIRS = 2^16` (serial radix below, parallel at and
+//! above). Key distributions cover the three radix regimes: presorted
+//! keys (value-run repair), dense keys (counting sort), and sparse keys
+//! (full-width 4×16-bit passes).
+
+use gpu_sim::thrust::sort_by_key;
+use gpu_sim::Device;
+use proptest::prelude::*;
+
+/// Keep in sync with `thrust::RADIX_MIN_PAIRS` (private; asserted only
+/// as a size landmark, not imported).
+const RADIX_MIN_PAIRS: usize = 1 << 12;
+/// Keep in sync with `thrust::RADIX_PAR_MIN_PAIRS`.
+const RADIX_PAR_MIN_PAIRS: usize = 1 << 16;
+
+/// Sort a copy of `pairs` on a `threads`-wide pool view; the modeled
+/// duration depends only on the length, so only bytes are compared.
+fn sort_with_threads(pairs: &[(u32, u32)], threads: usize) -> Vec<(u32, u32)> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool view");
+    pool.install(|| {
+        let device = Device::k20c();
+        let mut out = pairs.to_vec();
+        sort_by_key(&device, &mut out);
+        out
+    })
+}
+
+/// Assert serial (1 thread), parallel (4 threads), and std agree exactly.
+fn assert_canonical(pairs: &[(u32, u32)]) {
+    let mut reference = pairs.to_vec();
+    reference.sort_unstable();
+    let serial = sort_with_threads(pairs, 1);
+    let parallel = sort_with_threads(pairs, 4);
+    assert_eq!(serial, reference, "serial sort is not the canonical order");
+    assert_eq!(
+        parallel, reference,
+        "parallel sort diverged from the canonical order"
+    );
+}
+
+// ---- adversarial fixed cases -------------------------------------------
+
+/// Deterministic pseudo-random stream for the fixed cases (no rand
+/// dependency on the hot path; splitmix64 is enough to decorrelate).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn random_pairs(n: usize, key_bits: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mask = if key_bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << key_bits) - 1
+    };
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            let r = splitmix(&mut s);
+            (((r >> 32) as u32) & mask, r as u32)
+        })
+        .collect()
+}
+
+#[test]
+fn empty_and_single_element() {
+    assert_canonical(&[]);
+    assert_canonical(&[(7, 3)]);
+}
+
+#[test]
+fn all_equal_keys_large() {
+    // One giant equal-key run at parallel size: exercises the presorted
+    // path's run repair and the counting sort's single bucket.
+    let n = RADIX_PAR_MIN_PAIRS + 17;
+    let mut s = 42u64;
+    let pairs: Vec<(u32, u32)> = (0..n).map(|_| (5, splitmix(&mut s) as u32)).collect();
+    assert_canonical(&pairs);
+}
+
+#[test]
+fn presorted_input_large() {
+    // Already fully sorted: every path must be the identity.
+    let mut pairs = random_pairs(RADIX_PAR_MIN_PAIRS + 3, 32, 1);
+    pairs.sort_unstable();
+    assert_canonical(&pairs);
+}
+
+#[test]
+fn presorted_keys_random_values_large() {
+    // Non-decreasing keys with scrambled values: the is_sorted_by_key
+    // fast path with real run-repair work, serial vs parallel.
+    let mut pairs = random_pairs(RADIX_PAR_MIN_PAIRS + 9, 8, 2);
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    assert_canonical(&pairs);
+}
+
+#[test]
+fn reverse_sorted_large() {
+    let mut pairs = random_pairs(RADIX_PAR_MIN_PAIRS + 5, 32, 3);
+    pairs.sort_unstable();
+    pairs.reverse();
+    assert_canonical(&pairs);
+}
+
+#[test]
+fn radix_threshold_boundary() {
+    // One below, at, and above the std-sort/radix dispatch boundary.
+    for n in [RADIX_MIN_PAIRS - 1, RADIX_MIN_PAIRS, RADIX_MIN_PAIRS + 1] {
+        assert_canonical(&random_pairs(n, 16, n as u64));
+    }
+}
+
+#[test]
+fn parallel_threshold_boundary() {
+    // One below, at, and above the serial/parallel dispatch boundary —
+    // dense keys (counting regime) and sparse keys (full radix regime).
+    for n in [
+        RADIX_PAR_MIN_PAIRS - 1,
+        RADIX_PAR_MIN_PAIRS,
+        RADIX_PAR_MIN_PAIRS + 1,
+    ] {
+        assert_canonical(&random_pairs(n, 14, n as u64)); // dense
+        assert_canonical(&random_pairs(n, 32, n as u64 ^ 0xDEAD)); // sparse
+    }
+}
+
+#[test]
+fn parallel_output_is_thread_count_invariant() {
+    // The chunk count tracks the thread count; the output must not.
+    let pairs = random_pairs(RADIX_PAR_MIN_PAIRS + 1234, 20, 7);
+    let two = sort_with_threads(&pairs, 2);
+    let four = sort_with_threads(&pairs, 4);
+    let eight = sort_with_threads(&pairs, 8);
+    assert_eq!(two, four);
+    assert_eq!(four, eight);
+}
+
+// ---- randomized property sweep -----------------------------------------
+
+proptest! {
+    // Small-to-medium inputs get many cases cheaply. The regime selector
+    // spans the three key distributions: tiny dense keys (long equal
+    // runs), mid-width keys, and full-width sparse keys.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sort_matches_reference_small(
+        regime in 0u8..3,
+        seed in 0u64..u64::MAX,
+        len in 0usize..6000,
+    ) {
+        let key_bits = match regime { 0 => 6, 1 => 12, _ => 32 };
+        assert_canonical(&random_pairs(len, key_bits, seed));
+    }
+}
+
+proptest! {
+    // Parallel-sized inputs are expensive; a few cases suffice because
+    // the fixed adversarial tests above pin the boundary behavior.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sort_matches_reference_parallel_sized(
+        regime in 0u8..3,
+        seed in 0u64..u64::MAX,
+        extra in 0usize..4096,
+    ) {
+        let key_bits = match regime { 0 => 12, 1 => 20, _ => 32 };
+        let pairs = random_pairs(RADIX_PAR_MIN_PAIRS + extra, key_bits, seed);
+        assert_canonical(&pairs);
+    }
+}

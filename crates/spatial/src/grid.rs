@@ -35,7 +35,12 @@
 
 use crate::aabb::Aabb;
 use crate::point::Point2;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Below this many points the grid build's parallel paths (cell-id map,
+/// sparse pair sort) cost more in pool dispatch than they save.
+const PAR_MIN_POINTS: usize = 1 << 14;
 
 /// Index range of one grid cell into the lookup array `A`.
 ///
@@ -382,9 +387,19 @@ impl GridIndex {
             non_empty: Vec::new(),
             max_per_cell: 0,
         };
+        // Cell-id resolution (two divisions and a bounds check per point)
+        // dominates both builds; it is a pure per-point map, so the
+        // index-addressed parallel collect matches the serial map byte for
+        // byte. The histogram/scatter passes that follow are cheap
+        // sequential memory traffic over the precomputed ids.
+        let cells: Vec<u32> = if data.len() >= PAR_MIN_POINTS && rayon::current_num_threads() > 1 {
+            data.par_iter().map(|p| index.cell_of(p) as u32).collect()
+        } else {
+            data.iter().map(|p| index.cell_of(p) as u32).collect()
+        };
         match layout {
-            GridLayout::Dense => index.build_dense(data),
-            GridLayout::Sparse => index.build_sparse(data),
+            GridLayout::Dense => index.build_dense(&cells),
+            GridLayout::Sparse => index.build_sparse(&cells),
         }
         index
     }
@@ -392,14 +407,14 @@ impl GridIndex {
     /// Dense construction: a two-pass counting sort, `O(|D| + nx·ny)`
     /// time and memory. Within each cell, `A` keeps ids in ascending
     /// (data) order — the batching scheme's strided sampling relies on it.
-    fn build_dense(&mut self, data: &[Point2]) {
+    fn build_dense(&mut self, cells: &[u32]) {
         let n_cells = self.geom.nx * self.geom.ny;
         self.ranges = vec![CellRange::EMPTY; n_cells];
 
         // Pass 1: histogram cell populations.
         let mut counts = vec![0u32; n_cells];
-        for p in data {
-            counts[self.cell_of(p)] += 1;
+        for &h in cells {
+            counts[h as usize] += 1;
         }
 
         // Exclusive prefix sum -> per-cell start offsets, and cell ranges.
@@ -416,10 +431,9 @@ impl GridIndex {
         // Pass 2: scatter point ids into A. Using a cursor per cell keeps
         // ids in ascending order within each cell (data order).
         let mut cursor: Vec<u32> = self.ranges.iter().map(|r| r.start).collect();
-        for (i, p) in data.iter().enumerate() {
-            let h = self.cell_of(p);
-            self.lookup[cursor[h] as usize] = i as u32;
-            cursor[h] += 1;
+        for (i, &h) in cells.iter().enumerate() {
+            self.lookup[cursor[h as usize] as usize] = i as u32;
+            cursor[h as usize] += 1;
         }
     }
 
@@ -427,13 +441,20 @@ impl GridIndex {
     /// and O(|D|) memory — never touches nx·ny. The sort key makes `A`
     /// identical to the dense build's: cells ascending, ids in data order
     /// within each cell.
-    fn build_sparse(&mut self, data: &[Point2]) {
-        let mut order: Vec<(u32, u32)> = data
+    fn build_sparse(&mut self, cells: &[u32]) {
+        let mut order: Vec<(u32, u32)> = cells
             .iter()
             .enumerate()
-            .map(|(i, p)| (self.cell_of(p) as u32, i as u32))
+            .map(|(i, &h)| (h, i as u32))
             .collect();
-        order.sort_unstable();
+        // (cell, id) pairs are pairwise distinct (ids are unique), so the
+        // sorted order is unique: the parallel unstable sort matches the
+        // serial one exactly.
+        if order.len() >= PAR_MIN_POINTS && rayon::current_num_threads() > 1 {
+            order.par_sort_unstable();
+        } else {
+            order.sort_unstable();
+        }
 
         let k_estimate = order.len().min(64);
         self.non_empty = Vec::with_capacity(k_estimate);

@@ -13,6 +13,12 @@
 //!    `|R_l|` stay consistent (Figure 2).
 
 use crate::point::Point2;
+use rayon::prelude::*;
+
+/// Below this many points the pool dispatch costs more than the permute
+/// or sort saves; the serial paths produce identical output (the
+/// comparator is total, so the permutation is unique).
+const PAR_MIN_POINTS: usize = 1 << 14;
 
 /// The permutation produced by a spatial sort: `order[k]` is the index in
 /// the *original* array of the point that sorts to position `k`.
@@ -22,9 +28,15 @@ pub struct SortPermutation {
 }
 
 impl SortPermutation {
-    /// Apply the permutation, producing the sorted point array.
+    /// Apply the permutation, producing the sorted point array. An
+    /// index-addressed gather: parallel and serial paths write the same
+    /// element at the same position.
     pub fn apply(&self, data: &[Point2]) -> Vec<Point2> {
-        self.order.iter().map(|&i| data[i as usize]).collect()
+        if data.len() >= PAR_MIN_POINTS && rayon::current_num_threads() > 1 {
+            self.order.par_iter().map(|&i| data[i as usize]).collect()
+        } else {
+            self.order.iter().map(|&i| data[i as usize]).collect()
+        }
     }
 
     /// Original index of the point now at sorted position `k`.
@@ -60,14 +72,22 @@ fn bin_key(p: &Point2) -> (i64, i64) {
 /// identical inputs always produce identical permutations.
 pub fn spatial_sort_permutation(data: &[Point2]) -> SortPermutation {
     let mut order: Vec<u32> = (0..data.len() as u32).collect();
-    order.sort_by(|&a, &b| {
+    let by_bin = |&a: &u32, &b: &u32| {
         let (pa, pb) = (&data[a as usize], &data[b as usize]);
         bin_key(pa)
             .cmp(&bin_key(pb))
             .then(pa.y.total_cmp(&pb.y))
             .then(pa.x.total_cmp(&pb.x))
             .then(a.cmp(&b))
-    });
+    };
+    // The index tiebreak makes the comparator total, so the sorted
+    // permutation is unique: the parallel unstable sort and the serial
+    // stable sort produce the same bytes.
+    if order.len() >= PAR_MIN_POINTS && rayon::current_num_threads() > 1 {
+        order.par_sort_unstable_by(by_bin);
+    } else {
+        order.sort_unstable_by(by_bin);
+    }
     SortPermutation { order }
 }
 

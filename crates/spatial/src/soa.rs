@@ -16,6 +16,10 @@
 //! transfer.
 
 use crate::point::Point2;
+use rayon::prelude::*;
+
+/// Below this many points the deinterleave is cheaper than pool dispatch.
+const PAR_MIN_POINTS: usize = 1 << 15;
 
 /// Owned SoA mirror of a point array: `xs[i]`/`ys[i]` are the coordinates
 /// of point `i`.
@@ -26,11 +30,20 @@ pub struct PointStore {
 }
 
 impl PointStore {
-    /// Build the SoA mirror of `points` (same ids, same order).
+    /// Build the SoA mirror of `points` (same ids, same order). The
+    /// deinterleave is an index-addressed copy, so the parallel and serial
+    /// paths write identical bytes.
     pub fn from_points(points: &[Point2]) -> Self {
-        PointStore {
-            xs: points.iter().map(|p| p.x).collect(),
-            ys: points.iter().map(|p| p.y).collect(),
+        if points.len() >= PAR_MIN_POINTS && rayon::current_num_threads() > 1 {
+            PointStore {
+                xs: points.par_iter().map(|p| p.x).collect(),
+                ys: points.par_iter().map(|p| p.y).collect(),
+            }
+        } else {
+            PointStore {
+                xs: points.iter().map(|p| p.x).collect(),
+                ys: points.iter().map(|p| p.y).collect(),
+            }
         }
     }
 

@@ -62,6 +62,15 @@ step "bench smoke" ./target/release/repro bench \
 step "profile smoke (RAYON_NUM_THREADS=4)" \
     env RAYON_NUM_THREADS=4 ./target/release/repro profile \
     --scale 0.002 --trials 1 --csv target/ci-profile
+# Thread-scaling smoke tier: the {1,2,4,all} pool sweep on a tiny S1
+# workload. The binary is the gate: a determinism violation (modeled
+# bits, clusters, or |R| differing across thread counts) always exits
+# nonzero; the speedup_build_table >= 1.8 at 4 threads check is advisory
+# unless THREADS_STRICT=1, because wall-clock speedup is unmeasurable on
+# runners with fewer than 4 hardware threads.
+step "threads smoke (RAYON_NUM_THREADS=8)" \
+    env RAYON_NUM_THREADS=8 ./target/release/repro threads \
+    --scale 0.002 --trials 1 --csv target/ci-threads
 
 step "fmt" cargo fmt --all --check
 

@@ -45,7 +45,8 @@ pub mod profile;
 mod sort;
 
 pub use pool::{
-    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, help_one, join, scope, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
 };
 
 pub mod prelude {

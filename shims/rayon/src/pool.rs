@@ -354,6 +354,35 @@ pub(crate) fn run_parallel<F: Fn(usize) + Sync>(chunks: usize, label: &'static s
     execute_region(pool, region);
 }
 
+/// Donate the calling thread to one queued **data-parallel** region:
+/// claim and run its remaining chunks, then return `true`. Returns
+/// `false` when nothing is claimable.
+///
+/// This is for a thread that must wait on an external resource (e.g. a
+/// simulated device engine lock) and would otherwise park: instead of
+/// idling it absorbs fine-grained chunks. Owned one-shot regions (`scope`
+/// spawns, `join` branches) are deliberately skipped — adopting another
+/// pipeline stage wholesale while mid-wait could recurse into the same
+/// resource the caller is waiting for; borrowed chunk regions never
+/// block, so helping with them cannot deadlock.
+pub fn help_one() -> bool {
+    let p = pool();
+    let found = {
+        let queue = p.queue.lock().unwrap();
+        queue
+            .iter()
+            .find(|r| matches!(r.task, RegionTask::Borrowed(_)) && r.claimable())
+            .cloned()
+    };
+    match found {
+        Some(region) => {
+            run_region(&region);
+            true
+        }
+        None => false,
+    }
+}
+
 /// Erase an owned job's borrow lifetime. Sound only because every caller
 /// joins the job before the borrowed frame unwinds or returns.
 unsafe fn erase_job<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> OwnedJob {

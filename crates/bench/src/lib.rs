@@ -17,6 +17,7 @@ pub mod profile;
 pub mod regress;
 pub mod scenarios;
 pub mod schedule;
+pub mod shard;
 pub mod stats;
 pub mod table1;
 pub mod table2;

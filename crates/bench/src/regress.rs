@@ -201,6 +201,10 @@ pub fn run_suite(opts: &Options) -> BenchDoc {
         opts.warmup,
         opts.trials,
     ));
+    // Shard-scaling rows at 10× the suite scale (ISSUE 8): unsharded
+    // baseline, 2-shard concurrent speedup, 4-shard out-of-core under a
+    // device limit the unsharded build exceeds.
+    workloads.extend(crate::shard::run_shard_workloads(opts));
     BenchDoc {
         version: SCHEMA_VERSION,
         scale: opts.scale,
@@ -671,8 +675,9 @@ mod tests {
             ..Options::default()
         };
         let doc = run_suite(&opts);
-        // The suite workloads plus the hot-path micro workload.
-        assert_eq!(doc.workloads.len(), SUITE.len() + 1);
+        // The suite workloads plus the hot-path micro workload and the
+        // three shard-scaling rows.
+        assert_eq!(doc.workloads.len(), SUITE.len() + 1 + 3);
         let text = doc.to_json();
         let parsed = BenchDoc::parse(&text).expect("suite output must parse");
         assert_eq!(parsed.to_json(), text, "round-trip must be exact");
@@ -680,6 +685,12 @@ mod tests {
             if wl.scenario == "micro" {
                 for stage in crate::micro::MICRO_STAGES {
                     assert!(wl.stages.contains_key(*stage), "{}: {stage}", wl.id);
+                }
+                continue;
+            }
+            if wl.scenario == "shard" {
+                for stage in ["build_table", "modeled"] {
+                    assert!(wl.stages.contains_key(stage), "{}: {stage}", wl.id);
                 }
                 continue;
             }

@@ -6,7 +6,10 @@
 //! and reports wall-clock per stage plus the speedup relative to one
 //! thread. Each sweep point runs under
 //! `ThreadPoolBuilder::num_threads(t).install(..)`, which is exactly what
-//! `RAYON_NUM_THREADS=t` would give the whole process.
+//! `RAYON_NUM_THREADS=t` would give the whole process. Trials are
+//! interleaved round-robin across thread counts (see [`measure_all`]) so
+//! slow machine drift cannot bias the speedup columns toward whichever
+//! count would otherwise run first.
 //!
 //! The determinism policy makes a claim this benchmark checks on every
 //! run: modeled `SimDuration`s and clusterings must be **bitwise
@@ -25,18 +28,18 @@ use std::time::Instant;
 /// minpts for the clustering stages (the paper's S2 sweep midpoint).
 const MINPTS: usize = 4;
 
-/// One sweep point: wall-clock means over `trials` runs at `threads`
+/// One sweep point: wall-clock medians over `trials` runs at `threads`
 /// pool threads, plus the modeled/functional outputs whose bitwise
 /// invariance the determinism policy guarantees.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     pub threads: usize,
-    /// Mean wall-clock seconds of `build_table` (GPU-phase simulation:
+    /// Median wall-clock seconds of `build_table` (GPU-phase simulation:
     /// kernels, device sort, table ingest — all on the pool).
     pub build_table_s: f64,
-    /// Mean wall-clock seconds of the sequential host DBSCAN.
+    /// Median wall-clock seconds of the sequential host DBSCAN.
     pub dbscan_s: f64,
-    /// Mean wall-clock seconds of the parallel disjoint-set DBSCAN.
+    /// Median wall-clock seconds of the parallel disjoint-set DBSCAN.
     pub disjoint_set_s: f64,
     /// Modeled GPU-phase time (thread-count-invariant by policy).
     pub modeled_bits: u64,
@@ -63,94 +66,153 @@ fn safe_speedup(base_s: f64, cur_s: f64) -> f64 {
     }
 }
 
-/// Run one sweep point: `trials` full pipelines on a `threads`-sized
-/// pool view over the shared pool.
-fn measure(points: &[spatial::Point2], eps: f64, threads: usize, trials: usize) -> SweepRow {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("pool view");
-    pool.install(|| {
-        let device = Device::k20c();
-        let hybrid = HybridDbscan::new(&device, HybridConfig::default());
-        let (mut build_s, mut dbscan_s, mut ds_s) = (0.0, 0.0, 0.0);
-        let mut row = None;
-        for _ in 0..trials.max(1) {
-            let t0 = Instant::now();
-            let handle = hybrid.build_table(points, eps).expect("build_table");
-            build_s += t0.elapsed().as_secs_f64();
+/// One timed trial on an already-installed pool view: the full
+/// build_table / DBSCAN / disjoint-set chain, returning the wall times
+/// and the functional outputs of this run.
+fn measure_trial(points: &[spatial::Point2], eps: f64, threads: usize) -> SweepRow {
+    let device = Device::k20c();
+    let hybrid = HybridDbscan::new(&device, HybridConfig::default());
 
-            let t1 = Instant::now();
-            let (clustering, _) = HybridDbscan::cluster_with_table(&handle, MINPTS);
-            dbscan_s += t1.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let handle = hybrid.build_table(points, eps).expect("build_table");
+    let build_s = t0.elapsed().as_secs_f64();
 
-            let t2 = Instant::now();
-            let ds = dbscan_disjoint_set(&handle.table, MINPTS);
-            ds_s += t2.elapsed().as_secs_f64();
-            assert_eq!(
-                clustering.num_clusters(),
-                ds.num_clusters(),
-                "sequential and disjoint-set DBSCAN disagree"
-            );
+    let t1 = Instant::now();
+    let (clustering, _) = HybridDbscan::cluster_with_table(&handle, MINPTS);
+    let dbscan_s = t1.elapsed().as_secs_f64();
 
-            row = Some(SweepRow {
-                threads,
-                build_table_s: 0.0,
-                dbscan_s: 0.0,
-                disjoint_set_s: 0.0,
-                modeled_bits: handle.gpu.modeled_time.as_secs().to_bits(),
-                modeled_s: handle.gpu.modeled_time.as_secs(),
-                clusters: clustering.num_clusters() as usize,
-                result_pairs: handle.gpu.result_pairs,
-                serial_fraction_build: 1.0,
-                worker_util_pct: 0.0,
-                pool_steals: 0,
-            });
-        }
-        let n = trials.max(1) as f64;
-        let mut row = row.expect("at least one trial");
-        row.build_table_s = build_s / n;
-        row.dbscan_s = dbscan_s / n;
-        row.disjoint_set_s = ds_s / n;
+    let t2 = Instant::now();
+    let ds = dbscan_disjoint_set(&handle.table, MINPTS);
+    let ds_s = t2.elapsed().as_secs_f64();
+    assert_eq!(
+        clustering.num_clusters(),
+        ds.num_clusters(),
+        "sequential and disjoint-set DBSCAN disagree"
+    );
 
-        // One extra *untimed* run under the pool profiler for the
-        // attribution columns (profiling shifts wall times, so it never
-        // shares a run with the timed trials). The determinism policy
-        // says instrumentation must not move modeled bits — checked here
-        // on every sweep point.
-        let rec = std::sync::Arc::new(obs::Recorder::new());
-        let outer = rec.span("threads_profile", "bench");
-        let profiled =
-            HybridDbscan::new(&device, HybridConfig::default()).with_recorder(rec.clone());
-        let session = rayon::profile::profile_pool();
-        let handle = profiled.build_table(points, eps).expect("profiled build");
-        let pool_profile = session.finish();
-        drop(outer);
-        assert_eq!(
-            handle.gpu.modeled_time.as_secs().to_bits(),
-            row.modeled_bits,
-            "profiling changed modeled time bits at {threads} threads"
-        );
-        rec.record_pool_profile(&pool_profile);
-        let analysis = obs::analyze::analyze(&rec);
-        row.serial_fraction_build = analysis
-            .stages
+    SweepRow {
+        threads,
+        build_table_s: build_s,
+        dbscan_s,
+        disjoint_set_s: ds_s,
+        modeled_bits: handle.gpu.modeled_time.as_secs().to_bits(),
+        modeled_s: handle.gpu.modeled_time.as_secs(),
+        clusters: clustering.num_clusters() as usize,
+        result_pairs: handle.gpu.result_pairs,
+        serial_fraction_build: 1.0,
+        worker_util_pct: 0.0,
+        pool_steals: 0,
+    }
+}
+
+/// One extra *untimed* run under the pool profiler for the attribution
+/// columns (profiling shifts wall times, so it never shares a run with
+/// the timed trials). The determinism policy says instrumentation must
+/// not move modeled bits — checked here on every sweep point.
+fn profile_point(points: &[spatial::Point2], eps: f64, row: &mut SweepRow) {
+    let device = Device::k20c();
+    let rec = std::sync::Arc::new(obs::Recorder::new());
+    let outer = rec.span("threads_profile", "bench");
+    let profiled = HybridDbscan::new(&device, HybridConfig::default()).with_recorder(rec.clone());
+    let session = rayon::profile::profile_pool();
+    let handle = profiled.build_table(points, eps).expect("profiled build");
+    let pool_profile = session.finish();
+    drop(outer);
+    assert_eq!(
+        handle.gpu.modeled_time.as_secs().to_bits(),
+        row.modeled_bits,
+        "profiling changed modeled time bits at {} threads",
+        row.threads
+    );
+    rec.record_pool_profile(&pool_profile);
+    let analysis = obs::analyze::analyze(&rec);
+    row.serial_fraction_build = analysis
+        .stages
+        .iter()
+        .find(|s| s.name == "build_table")
+        .map_or(1.0, |s| s.serial_fraction);
+    row.worker_util_pct = if analysis.workers.is_empty() {
+        0.0
+    } else {
+        analysis
+            .workers
             .iter()
-            .find(|s| s.name == "build_table")
-            .map_or(1.0, |s| s.serial_fraction);
-        row.worker_util_pct = if analysis.workers.is_empty() {
-            0.0
-        } else {
-            analysis
-                .workers
-                .iter()
-                .map(|w| w.utilization_pct)
-                .sum::<f64>()
-                / analysis.workers.len() as f64
-        };
-        row.pool_steals = analysis.workers.iter().map(|w| w.steals).sum();
-        row
-    })
+            .map(|w| w.utilization_pct)
+            .sum::<f64>()
+            / analysis.workers.len() as f64
+    };
+    row.pool_steals = analysis.workers.iter().map(|w| w.steals).sum();
+}
+
+/// Run the whole sweep with trials **interleaved round-robin** across
+/// thread counts: trial round r runs every thread count once before
+/// round r + 1 begins. Sequential per-count blocks are biased on shared
+/// or CPU-quota'd runners — slow machine drift (frequency scaling, CFS
+/// throttling as the sustained load accrues) lands entirely on whichever
+/// count runs last, which systematically penalized the 4-thread point.
+/// Interleaving makes every count sample the same drift window, so the
+/// speedup columns compare like with like.
+fn measure_all(points: &[spatial::Point2], eps: f64, trials: usize) -> Vec<SweepRow> {
+    let counts = thread_counts();
+    let pools: Vec<rayon::ThreadPool> = counts
+        .iter()
+        .map(|&t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("pool view")
+        })
+        .collect();
+    let mut rows: Vec<Option<SweepRow>> = vec![None; counts.len()];
+    let mut samples: Vec<[Vec<f64>; 3]> = counts.iter().map(|_| Default::default()).collect();
+    for round in 0..trials.max(1) {
+        // Rotate the starting count each round: the first pipeline of a
+        // round pays one-off costs (cold allocator, page faults) that
+        // would otherwise always land on the same count.
+        for k in 0..pools.len() {
+            let i = (round + k) % pools.len();
+            let pool = &pools[i];
+            let trial = pool.install(|| measure_trial(points, eps, counts[i]));
+            samples[i][0].push(trial.build_table_s);
+            samples[i][1].push(trial.dbscan_s);
+            samples[i][2].push(trial.disjoint_set_s);
+            match &rows[i] {
+                Some(acc) => assert_eq!(
+                    acc.modeled_bits, trial.modeled_bits,
+                    "modeled time bits changed between trials at {} threads",
+                    counts[i]
+                ),
+                None => rows[i] = Some(trial),
+            }
+        }
+    }
+    rows.into_iter()
+        .zip(&pools)
+        .zip(samples)
+        .map(|((row, pool), mut s)| {
+            let mut row = row.expect("at least one trial");
+            // Median, like the bench suite: wall times on a shared or
+            // CPU-quota'd runner are right-skewed by stalls, and a mean
+            // lets one throttled trial move a speedup column.
+            row.build_table_s = median(&mut s[0]);
+            row.dbscan_s = median(&mut s[1]);
+            row.disjoint_set_s = median(&mut s[2]);
+            pool.install(|| profile_point(points, eps, &mut row));
+            row
+        })
+        .collect()
+}
+
+/// Median of a non-empty sample (sorts in place; even lengths average
+/// the middle pair).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
 }
 
 /// The sweep's thread counts: `{1, 2, 4, all}` where `all` is the
@@ -168,10 +230,7 @@ pub fn run(opts: &Options) -> (String, f64, usize, Vec<SweepRow>) {
     let (name, eps, ..) = table2::PAPER[0]; // SW1, ε = 0.2 — scenario S1
     let mut cache = DatasetCache::new(opts.scale);
     let points = cache.get(name).points.clone();
-    let rows = thread_counts()
-        .into_iter()
-        .map(|t| measure(&points, eps, t, opts.trials))
-        .collect();
+    let rows = measure_all(&points, eps, opts.trials);
     (name.to_string(), eps, points.len(), rows)
 }
 

@@ -190,6 +190,21 @@ impl BatchPlan {
         self.n_batches *= 2;
         self
     }
+
+    /// Replan from an *exact* total result size (known after an
+    /// overflowed pass counted every append attempt), keeping the buffer
+    /// size and applying Equation 1 with `margin` as the α. Unlike
+    /// [`Self::with_doubled_batches`] this converges to the minimal batch
+    /// count for the true `|R|`, so the executed `n_b` stays monotone in
+    /// the configured α instead of overshooting by powers of two.
+    pub fn replan_for_total(mut self, exact_total: u64, margin: f64) -> BatchPlan {
+        self.estimated_total = exact_total.max(1);
+        self.effective_alpha = margin;
+        self.n_batches = (((1.0 + margin) * self.estimated_total as f64) / self.buffer_items as f64)
+            .ceil()
+            .max(1.0) as usize;
+        self
+    }
 }
 
 /// The strided point→batch assignment of Figure 2: point `i` belongs to
@@ -387,5 +402,26 @@ mod tests {
         let plan = BatchConfig::default().plan(1000, 100_000);
         let doubled = plan.with_doubled_batches();
         assert_eq!(doubled.n_batches, plan.n_batches * 2);
+    }
+
+    #[test]
+    fn replan_for_total_applies_equation_1_to_the_exact_total() {
+        let cfg = BatchConfig {
+            alpha: 0.0,
+            sample_fraction: 1.0,
+            static_threshold: 0,
+            static_buffer_items: 100,
+            n_streams: 3,
+        };
+        // The estimate said 1000 pairs (10 batches); the pass counted
+        // 2000. Replanning at 5% margin gives ceil(1.05*2000/100) = 21
+        // batches — not the 20 → 40 a blind doubling would produce.
+        let plan = cfg.plan(1000, 5000);
+        assert_eq!(plan.n_batches, 10);
+        let replanned = plan.replan_for_total(2000, 0.05);
+        assert_eq!(replanned.n_batches, 21);
+        assert_eq!(replanned.estimated_total, 2000);
+        assert_eq!(replanned.effective_alpha, 0.05);
+        assert_eq!(replanned.buffer_items, plan.buffer_items);
     }
 }

@@ -136,6 +136,11 @@ pub struct GpuPhaseReport {
     pub e_b: u64,
     /// Overflow retries performed.
     pub retries: usize,
+    /// Batches run by overflowed (discarded) passes across all retries.
+    pub discarded_batches: usize,
+    /// Pairs materialized then thrown away by overflowed passes — the
+    /// true cost of a bad estimate.
+    pub discarded_pairs: usize,
     /// Component breakdown of `modeled_time` (the serial preamble parts)
     /// and of the overlapped batch schedule (per-engine sums; these
     /// overlap, so they exceed `batch_schedule_time`).
@@ -236,6 +241,27 @@ type BatchPassOutput = (
     Vec<usize>,
 );
 
+/// Result of one full pass over the batches.
+enum BatchPass {
+    /// No buffer overflowed: the pass's outputs are final.
+    Complete(BatchPassOutput),
+    /// At least one batch overflowed. The pass ran *every* batch anyway
+    /// (the append cursor counts attempts past capacity), so the true
+    /// `|R|` is now known exactly and the caller can replan with
+    /// Equation 1 instead of blindly doubling `n_b`.
+    Overflowed {
+        /// Exact total append attempts across all batches (= `|R|`).
+        required_total: u64,
+        /// Largest single-batch requirement — the minimal buffer size
+        /// that makes the current batch assignment overflow-free.
+        max_required: usize,
+        /// Pairs materialized (then discarded) by the failed pass.
+        produced_pairs: usize,
+        /// Batches the failed pass ran (all of them — discarded work).
+        batches: usize,
+    },
+}
+
 /// Device-resident `G`, in either layout. Dense is the single flat range
 /// array (one H2D transfer, exactly as before the sparse layout existed);
 /// sparse uploads the non-empty keys and their ranges as two buffers —
@@ -292,6 +318,9 @@ pub struct HybridDbscan {
     device: Device,
     config: HybridConfig,
     recorder: Option<Arc<Recorder>>,
+    /// Device index for recorded timeline ops (sharded runs give each
+    /// shard its own lane group in the Chrome trace).
+    trace_device: u32,
 }
 
 impl HybridDbscan {
@@ -300,6 +329,7 @@ impl HybridDbscan {
             device: device.clone(),
             config,
             recorder: None,
+            trace_device: 0,
         }
     }
 
@@ -307,6 +337,13 @@ impl HybridDbscan {
     /// device-timeline operations, and batching/kernel metrics into it.
     pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Record device-timeline ops under device index `device` (default 0)
+    /// so per-shard runs land on distinct Chrome-trace lane groups.
+    pub fn with_trace_lane(mut self, device: u32) -> Self {
+        self.trace_device = device;
         self
     }
 
@@ -493,11 +530,14 @@ impl HybridDbscan {
             .map(|_| DeviceAppendBuffer::new(&self.device, plan.buffer_items))
             .collect::<Result<_, _>>()?;
 
-        // Execute batches, retrying with doubled n_b on overflow.
+        // Execute batches, replanning from the exact counted |R| on
+        // overflow.
         let batch_span = rec.map(|r| r.span("batch_loop", "host"));
         let mut pinned = pinned;
         let mut attempt_plan = plan;
         let mut retries = 0;
+        let mut discarded_batches = 0usize;
+        let mut discarded_pairs = 0usize;
         let (builder, chains, profile, per_batch_pairs) = loop {
             match self.run_batches(
                 &store,
@@ -510,22 +550,47 @@ impl HybridDbscan {
                 &mut dev_buffers,
                 &mut pinned,
             )? {
-                Some(out) => break out,
-                None => {
+                BatchPass::Complete(out) => break out,
+                BatchPass::Overflowed {
+                    required_total,
+                    max_required,
+                    produced_pairs,
+                    batches,
+                } => {
                     retries += 1;
+                    discarded_batches += batches;
+                    discarded_pairs += produced_pairs;
                     if retries > cfg.max_retries {
                         return Err(HybridError::RetriesExhausted { attempts: retries });
                     }
                     if attempt_plan.n_batches < sorted.len() {
-                        attempt_plan = attempt_plan.with_doubled_batches();
+                        // The failed pass counted every append attempt,
+                        // so |R| is known exactly: apply Equation 1 to
+                        // the true total with a small safety margin.
+                        // This lands on the minimal batch count instead
+                        // of overshooting by powers of two, keeping the
+                        // executed n_b monotone in the configured α.
+                        // Per-batch skew can still defeat the uniform-
+                        // batch assumption; fall back to doubling then.
+                        let margin = attempt_plan.effective_alpha.max(cfg.batch.alpha).max(0.05);
+                        let replanned = attempt_plan.replan_for_total(required_total, margin);
+                        attempt_plan = if replanned.n_batches > attempt_plan.n_batches {
+                            replanned
+                        } else {
+                            attempt_plan.with_doubled_batches()
+                        };
                         // More batches than points is pure overhead.
                         attempt_plan.n_batches = attempt_plan.n_batches.min(sorted.len());
                     } else {
                         // Already one point per batch and still
                         // overflowing: the buffer is smaller than a
                         // single ε-neighborhood, and no batch split can
-                        // fix that. Grow the buffers instead.
-                        attempt_plan.buffer_items *= 2;
+                        // fix that. Grow the buffers to the exact
+                        // largest requirement — deterministic success
+                        // on the next pass, where the old blind
+                        // doubling could under-size and overflow again.
+                        attempt_plan.buffer_items =
+                            attempt_plan.buffer_items.max(max_required).max(1);
                         dev_buffers = (0..n_buffers)
                             .map(|_| {
                                 DeviceAppendBuffer::new(&self.device, attempt_plan.buffer_items)
@@ -582,6 +647,8 @@ impl HybridDbscan {
                 &per_batch_pairs,
                 e_b,
                 retries,
+                discarded_batches,
+                discarded_pairs,
             );
         }
         kernel_profile.record(&est_report);
@@ -596,6 +663,8 @@ impl HybridDbscan {
             kernel_profile,
             e_b,
             retries,
+            discarded_batches,
+            discarded_pairs,
             breakdown,
             schedule,
         };
@@ -634,13 +703,17 @@ impl HybridDbscan {
         per_batch_pairs: &[usize],
         e_b: u64,
         retries: usize,
+        discarded_batches: usize,
+        discarded_pairs: usize,
     ) {
         // Device track: the serial preamble occupies its engines back to
         // back, then the batch schedule replays shifted past it.
+        let dev = self.trace_device;
         let mut t = SimTime::ZERO;
-        r.record_device_op(Engine::H2D, "upload", 0, 0, t, breakdown.upload_time);
+        r.record_device_op_on(dev, Engine::H2D, "upload", 0, 0, t, breakdown.upload_time);
         t = t + breakdown.upload_time;
-        r.record_device_op(
+        r.record_device_op_on(
+            dev,
             Engine::Compute,
             "estimation",
             0,
@@ -649,7 +722,8 @@ impl HybridDbscan {
             breakdown.estimation_time,
         );
         t = t + breakdown.estimation_time;
-        r.record_device_op(
+        r.record_device_op_on(
+            dev,
             Engine::Host(0),
             "pinned_alloc",
             0,
@@ -658,7 +732,7 @@ impl HybridDbscan {
             breakdown.pinned_alloc_time,
         );
         t = t + breakdown.pinned_alloc_time;
-        r.record_schedule(schedule, t - SimTime::ZERO);
+        r.record_schedule_on(dev, schedule, t - SimTime::ZERO);
 
         // Batching-scheme telemetry: how good was the estimate, and how
         // much of the overestimated buffers did the batches actually use?
@@ -671,6 +745,8 @@ impl HybridDbscan {
         );
         m.counter_add("batch.batches_run", per_batch_pairs.len() as u64);
         m.counter_add("batch.retries", retries as u64);
+        m.counter_add("batch.discarded_batches", discarded_batches as u64);
+        m.counter_add("batch.discarded_pairs", discarded_pairs as u64);
         m.counter_add("batch.result_pairs", actual as u64);
         m.gauge_set("batch.estimated_total", plan.estimated_total as f64);
         m.gauge_set("batch.overestimation_factor", 1.0 + plan.effective_alpha);
@@ -733,8 +809,9 @@ impl HybridDbscan {
     /// of batch *l+1* in wall-clock, exactly as the modeled 3-stream
     /// schedule overlaps them on the timeline.
     ///
-    /// Returns `None` if any batch overflowed its buffer (caller
-    /// re-plans), otherwise the filled builder, the per-batch operation
+    /// Returns [`BatchPass::Overflowed`] (with exact per-batch
+    /// requirement counts for replanning) if any batch overflowed its
+    /// buffer, otherwise the filled builder, the per-batch operation
     /// chains for scheduling, the kernel profile, and the per-batch pair
     /// counts.
     ///
@@ -757,7 +834,7 @@ impl HybridDbscan {
         shared_batches: Option<&[Vec<u32>]>,
         dev_buffers: &mut [DeviceAppendBuffer<NeighborPair>],
         pinned: &mut [PinnedBuffer<NeighborPair>],
-    ) -> Result<Option<BatchPassOutput>, HybridError> {
+    ) -> Result<BatchPass, HybridError> {
         let cfg = &self.config;
         let n_b = shared_batches.map_or(plan.n_batches, |b| b.len().max(1));
         let n_buffers = dev_buffers.len();
@@ -770,6 +847,10 @@ impl HybridDbscan {
             sort_time: SimDuration,
             d2h_time: SimDuration,
             staged_len: usize,
+            /// Exact pairs this batch needed: every append attempt,
+            /// counted past capacity. A pure function of the batch, so
+            /// an overflowed pass yields the true `|R|` deterministically.
+            required: usize,
         }
         let outcomes: Vec<Mutex<Option<BatchOutcome>>> =
             (0..n_b).map(|_| Mutex::new(None)).collect();
@@ -836,6 +917,7 @@ impl HybridDbscan {
                             sort_time: SimDuration::ZERO,
                             d2h_time: SimDuration::ZERO,
                             staged_len: 0,
+                            required: 0,
                         });
                         l += n_buffers;
                         continue;
@@ -852,14 +934,37 @@ impl HybridDbscan {
                 };
 
                 if buf.overflowed() {
-                    // Deterministic per batch (the append cursor counts
-                    // every attempt); which *worker* notices first is
-                    // schedule-dependent, but the whole pass's outputs
-                    // are discarded on overflow, so only the Ok(None)
-                    // retry signal escapes.
+                    // Keep going instead of aborting: the remaining
+                    // batches still run their kernels, so every batch
+                    // reports its exact requirement and the retry can
+                    // replan from the true |R| (which *worker* notices
+                    // first is schedule-dependent, but per-batch
+                    // requirements are not — the whole pass's pairs are
+                    // discarded and only the counts escape).
                     overflowed.store(true, Ordering::Relaxed);
-                    abort.store(true, Ordering::Relaxed);
-                    return;
+                    *outcomes[l].lock() = Some(BatchOutcome {
+                        report: Some(report),
+                        sort_time: SimDuration::ZERO,
+                        d2h_time: SimDuration::ZERO,
+                        staged_len: 0,
+                        required: buf.len() + buf.rejected(),
+                    });
+                    l += n_buffers;
+                    continue;
+                }
+                if overflowed.load(Ordering::Relaxed) {
+                    // Another batch already overflowed: this pass is
+                    // doomed, so skip the canonicalization / transfer /
+                    // ingest and just report this batch's exact count.
+                    *outcomes[l].lock() = Some(BatchOutcome {
+                        report: Some(report),
+                        sort_time: SimDuration::ZERO,
+                        d2h_time: SimDuration::ZERO,
+                        staged_len: 0,
+                        required: buf.len(),
+                    });
+                    l += n_buffers;
+                    continue;
                 }
 
                 // Host-side sort by key (Thrust), so identical keys are
@@ -889,6 +994,7 @@ impl HybridDbscan {
                     sort_time,
                     d2h_time,
                     staged_len,
+                    required: staged_len,
                 });
                 l += n_buffers;
             }
@@ -917,7 +1023,24 @@ impl HybridDbscan {
             return Err(e);
         }
         if overflowed.load(Ordering::Relaxed) {
-            return Ok(None);
+            let mut required_total = 0u64;
+            let mut max_required = 0usize;
+            let mut produced_pairs = 0usize;
+            for slot in &outcomes {
+                let out = slot
+                    .lock()
+                    .take()
+                    .expect("pipeline finished without an outcome for some batch");
+                required_total += out.required as u64;
+                max_required = max_required.max(out.required);
+                produced_pairs += out.required.min(plan.buffer_items);
+            }
+            return Ok(BatchPass::Overflowed {
+                required_total,
+                max_required,
+                produced_pairs,
+                batches: n_b,
+            });
         }
 
         // Drain outcomes in batch index order. `KernelProfile::record`
@@ -956,7 +1079,12 @@ impl HybridDbscan {
             }
         }
 
-        Ok(Some((builder, chains, profile, per_batch_pairs)))
+        Ok(BatchPass::Complete((
+            builder,
+            chains,
+            profile,
+            per_batch_pairs,
+        )))
     }
 }
 
@@ -1005,6 +1133,25 @@ mod tests {
     use super::*;
     use crate::dbscan::GridSource;
     use crate::kernels::test_support::mixed_points;
+
+    /// A 1-D line with a denser middle third. Per-point neighbor counts
+    /// are near-constant within each region and strided batches sample
+    /// both regions evenly, so per-batch result sizes have low skew —
+    /// the regime of the paper's datasets, unlike `mixed_points`.
+    fn gradient_line_points(n: usize) -> Vec<Point2> {
+        let mut x = 0.0f64;
+        (0..n)
+            .map(|i| {
+                let step = if (n / 3..2 * n / 3).contains(&i) {
+                    0.07
+                } else {
+                    0.1
+                };
+                x += step;
+                Point2::new(x, 0.5)
+            })
+            .collect()
+    }
 
     fn tiny_batch_config(buffer_items: usize) -> BatchConfig {
         BatchConfig {
@@ -1088,7 +1235,7 @@ mod tests {
     }
 
     #[test]
-    fn overflow_recovery_doubles_batches() {
+    fn overflow_recovery_replans_batches() {
         let data = mixed_points(400);
         let device = Device::k20c();
         // Lie to the planner: a strongly negative α makes Equation 1 plan
@@ -1111,10 +1258,86 @@ mod tests {
         let hybrid = HybridDbscan::new(&device, cfg);
         let r = hybrid.run(&data, 1.0, 4).unwrap();
         assert!(r.gpu.retries > 0, "undersized plan must trigger retries");
+        // The failed pass counted the true |R|, so the executed plan is
+        // the minimal Equation-1 plan for it (margin 5%), not a blind
+        // power-of-two overshoot.
+        let minimal = (1.05 * r.gpu.result_pairs as f64 / 2000.0).ceil() as usize;
+        assert_eq!(r.gpu.plan.n_batches, minimal.min(data.len()));
+        assert_eq!(r.gpu.plan.estimated_total, r.gpu.result_pairs as u64);
+        // Discarded-work accounting covers every retried batch.
+        assert!(r.gpu.discarded_batches > 0);
+        assert!(r.gpu.discarded_pairs > 0);
         // And the result is still correct.
         let grid = GridIndex::build(&data, 1.0);
         let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
         assert!(r.clustering.equivalent_to(&direct));
+    }
+
+    #[test]
+    fn executed_batches_monotone_entering_retry_free_region() {
+        // Regression for the α-sweep anomaly: a retry at a small α used
+        // to *double* n_b, making the executed batch count jump far above
+        // what a slightly larger (retry-free) α needs (the ablation
+        // showed 310 + retry at α=0.00 vs 162 at α=0.05). With the exact
+        // replan, the executed n_b must be non-increasing until the sweep
+        // enters the retry-free region (beyond that it legitimately grows
+        // with α, since buffers are fixed and Equation 1 scales with it).
+        //
+        // Calibration (all deterministic): |R| = 33,314 at eps 0.35, so
+        // with b_b = 980 the α=0.00 plan of 34 batches has a max fill of
+        // 985 (0.5% skew vs 0.02% headroom — overflow), while every
+        // α ≥ 0.01 plan fits. The replan executes ceil(1.05·|R|/980) =
+        // 36 batches; the old doubling executed 68.
+        let data = gradient_line_points(4000);
+        let device = Device::k20c();
+        let mut executed: Vec<(f64, usize, usize)> = Vec::new();
+        for alpha in [0.0, 0.01, 0.05, 0.2, 0.5] {
+            let cfg = HybridConfig {
+                batch: BatchConfig {
+                    alpha,
+                    sample_fraction: 1.0, // exact estimate: a_b = |R|
+                    static_threshold: 0,
+                    static_buffer_items: 980,
+                    n_streams: 3,
+                },
+                max_retries: 8,
+                ..HybridConfig::default()
+            };
+            let hybrid = HybridDbscan::new(&device, cfg);
+            let r = hybrid.run(&data, 0.35, 4).unwrap();
+            executed.push((alpha, r.gpu.retries, r.gpu.n_batches));
+        }
+        assert!(
+            executed.iter().any(|&(_, retries, _)| retries > 0),
+            "sweep must exercise the retry path: {executed:?}"
+        );
+        let first_retry_free = executed
+            .iter()
+            .position(|&(_, retries, _)| retries == 0)
+            .expect("some α must be retry-free");
+        for w in executed[..=first_retry_free].windows(2) {
+            assert!(
+                w[1].2 <= w[0].2,
+                "executed n_batches must be non-increasing entering the \
+                 retry-free region: {executed:?}"
+            );
+        }
+        // No power-of-two overshoot: a retried α may not execute more
+        // than ~25% above the first retry-free batch count.
+        let baseline = executed[first_retry_free].2 as f64;
+        for &(alpha, retries, n) in &executed[..first_retry_free] {
+            assert!(
+                retries > 0 && (n as f64) <= baseline * 1.25,
+                "α={alpha}: executed {n} vs retry-free {baseline}: {executed:?}"
+            );
+        }
+        // Pin the executed sweep shape (deterministic pipeline).
+        let shape: Vec<(usize, usize)> = executed.iter().map(|&(_, r, n)| (r, n)).collect();
+        assert_eq!(
+            shape,
+            vec![(1, 36), (0, 35), (0, 36), (0, 41), (0, 51)],
+            "{executed:?}"
+        );
     }
 
     #[test]
@@ -1152,6 +1375,18 @@ mod tests {
         let m = rec.metrics().snapshot();
         assert_eq!(m.counters["batch.retries"], r.gpu.retries as u64);
         assert_eq!(m.counters["batch.batches_run"], r.gpu.n_batches as u64);
+        assert_eq!(
+            m.counters["batch.discarded_batches"],
+            r.gpu.discarded_batches as u64
+        );
+        assert_eq!(
+            m.counters["batch.discarded_pairs"],
+            r.gpu.discarded_pairs as u64
+        );
+        assert!(
+            r.gpu.discarded_batches > 0,
+            "retried passes must be accounted as discarded work"
+        );
         assert_eq!(
             m.histograms["batch.pairs"].count, r.gpu.n_batches as u64,
             "per-batch telemetry must come from the executed plan"

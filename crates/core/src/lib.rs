@@ -43,6 +43,9 @@
 //! * [`oracle`] — brute-force exact-DBSCAN ground truth (core/border/noise
 //!   classification, core components, validity and equivalence checks)
 //!   backing the differential test harness in `tests/differential/`.
+//! * [`shard`] — the sharded pipeline: ε-halo slab partitioning, one
+//!   simulated device per shard (or sequential out-of-core tiling through
+//!   one device), and the exact cross-shard table merge (DESIGN.md §14).
 
 pub mod batch;
 pub mod cuda_dclust;
@@ -57,8 +60,10 @@ pub mod pipeline;
 pub mod reference;
 pub mod reuse;
 pub mod scenario;
+pub mod shard;
 pub mod table;
 
 pub use dbscan::{Clustering, Dbscan, PointLabel};
 pub use hybrid::{HybridConfig, HybridDbscan, HybridResult};
+pub use shard::{clustering_fingerprint, table_fingerprint, ShardConfig, ShardMode, ShardedHybrid};
 pub use table::NeighborTable;

@@ -19,8 +19,10 @@
 //! single-thread pool concurrent mode degrades to the serial pass.
 
 use crate::dbscan::Clustering;
+use crate::disjoint_set::dbscan_disjoint_set;
 use crate::hybrid::{HybridConfig, HybridDbscan, HybridError};
 use crate::scenario::Variant;
+use crate::shard::{ShardConfig, ShardedHybrid};
 use gpu_sim::device::Device;
 use gpu_sim::time::SimDuration;
 use obs::Recorder;
@@ -176,6 +178,65 @@ impl MultiClusterPipeline {
             return self.run_serial(data, variants);
         }
         self.run_concurrent(data, variants)
+    }
+
+    /// The serial pass with a **sharded** producer (DESIGN.md §14): each
+    /// variant's table comes from [`ShardedHybrid::build_table`] — k
+    /// devices concurrently or out-of-core tiling, per `shard_cfg` — and
+    /// the consumer stage is the concurrent disjoint-set pass over the
+    /// merged table. The merged rows are bitwise identical to the
+    /// unsharded build's, so cluster counts match [`Self::run`] exactly;
+    /// `gpu_phase` is the sharded modeled time (max over shards when
+    /// concurrent, sum when out-of-core).
+    pub fn run_sharded(
+        &self,
+        data: &[Point2],
+        variants: &[Variant],
+        shard_cfg: ShardConfig,
+    ) -> Result<PipelineReport, HybridError> {
+        let sharded = {
+            let s = ShardedHybrid::new(&self.device, shard_cfg);
+            match &self.recorder {
+                Some(rec) => s.with_recorder(rec.clone()),
+                None => s,
+            }
+        };
+        let rec = self.recorder.as_deref();
+        let wall_start = Instant::now();
+        let mut per_variant = Vec::with_capacity(variants.len());
+        let mut cluster_counts = Vec::with_capacity(variants.len());
+        for (i, v) in variants.iter().enumerate() {
+            let produce_span = rec.map(|r| {
+                let mut s = r.span(format!("produce-sharded[{i}]"), "pipeline");
+                s.arg("eps", v.eps);
+                s
+            });
+            let handle = sharded.build_table(data, v.eps)?;
+            drop(produce_span);
+            let consume_span = rec.map(|r| {
+                let mut s = r.span(format!("consume[{i}]"), "pipeline");
+                s.arg("minpts", v.minpts);
+                s
+            });
+            let t0 = Instant::now();
+            let clustering = dbscan_disjoint_set(&handle.table, v.minpts).unpermute(&handle.perm);
+            let dbscan_time: SimDuration = t0.elapsed().into();
+            drop(consume_span);
+            per_variant.push(VariantTiming {
+                variant: *v,
+                gpu_phase: handle.modeled_time,
+                dbscan: dbscan_time,
+            });
+            cluster_counts.push(clustering.num_clusters());
+        }
+        let report = Self::assemble(
+            per_variant,
+            cluster_counts,
+            self.config.consumers,
+            wall_start,
+        );
+        self.record_totals(&report);
+        Ok(report)
     }
 
     /// Serial measurement pass: build `T`, run DBSCAN, one variant at a
@@ -510,6 +571,38 @@ mod tests {
         // Results arrive in variant order regardless of consumer timing.
         for (t, v) in report.per_variant.iter().zip(&variants) {
             assert_eq!(t.variant.eps, v.eps);
+        }
+    }
+
+    #[test]
+    fn sharded_producer_matches_unsharded_pipeline() {
+        use crate::shard::ShardMode;
+        let data = mixed_points(400);
+        let device = Device::k20c();
+        let variants: Vec<Variant> = [0.4, 0.7, 1.0]
+            .iter()
+            .map(|&e| Variant::new(e, 4))
+            .collect();
+        let pipeline = MultiClusterPipeline::new(&device, PipelineConfig::default());
+        let unsharded = pipeline.run(&data, &variants).unwrap();
+        for (mode, shards) in [(ShardMode::Concurrent, 3), (ShardMode::OutOfCore, 2)] {
+            let sharded = pipeline
+                .run_sharded(
+                    &data,
+                    &variants,
+                    ShardConfig {
+                        shards,
+                        mode,
+                        hybrid: HybridConfig::default(),
+                    },
+                )
+                .unwrap();
+            assert_eq!(
+                sharded.cluster_counts, unsharded.cluster_counts,
+                "sharded producer ({mode:?}, k={shards}) changed cluster counts"
+            );
+            assert_eq!(sharded.per_variant.len(), variants.len());
+            assert!(sharded.pipelined_total <= sharded.non_pipelined_total);
         }
     }
 

@@ -54,6 +54,24 @@ impl NeighborTable {
         builder.finalize()
     }
 
+    /// Assemble a table directly from per-point `[start, end)` ranges into
+    /// a prebuilt value array — the sharded pipeline's row-merge path,
+    /// where each range comes from the shard owning that point. Every
+    /// range must lie within `values` (debug-asserted).
+    pub(crate) fn from_parts(eps: f64, ranges: Vec<(u64, u64)>, values: Vec<u32>) -> Self {
+        debug_assert!(ranges
+            .iter()
+            .all(|&(s, e)| s <= e && e <= values.len() as u64));
+        NeighborTable {
+            eps,
+            ranges: ranges
+                .into_iter()
+                .map(|(start, end)| TableRange { start, end })
+                .collect(),
+            values,
+        }
+    }
+
     /// The ε this table was computed for.
     pub fn eps(&self) -> f64 {
         self.eps

@@ -25,6 +25,10 @@
 //!   8 threads and asserts schedule independence (exact labels where the
 //!   implementation guarantees it, oracle-level equivalence for
 //!   CUDA-DClust's scheduling-dependent border attribution).
+//! * [`sharded`] holds the sharded pipeline to bitwise table and
+//!   clustering equality with the unsharded build at k ∈ {1, 2, 4} and
+//!   1/2/8 threads in both execution modes, including a halo-straddling
+//!   adversarial generator with exact-ε cross-boundary pairs.
 //!
 //! Failing cases are delta-debugged down to a minimal point set by
 //! `oracle::shrink_case` before being reported (the offline proptest
@@ -33,6 +37,7 @@
 mod generators;
 mod grid_layouts;
 mod harness;
+mod sharded;
 mod sweep;
 mod threads;
 mod transforms;

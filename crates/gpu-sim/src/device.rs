@@ -71,6 +71,8 @@ pub(crate) struct DeviceInner {
     pub cost: CostModel,
     pub transfer: TransferModel,
     pub used_bytes: AtomicUsize,
+    /// High-water mark of `used_bytes`, for out-of-core reporting.
+    pub peak_bytes: AtomicUsize,
     /// Serializes kernel launches: the simulated compute engine executes
     /// one kernel at a time, like a single-compute-engine GPU. This is
     /// strictly per-engine accounting of *kernel execution* — host-side
@@ -85,24 +87,17 @@ impl DeviceInner {
     /// to pending data-parallel pool work (the current holder's kernel
     /// blocks, another stream's sort) instead of parking, so pipelined
     /// launches from several stream workers keep every host thread busy.
+    /// Once no pool work is claimable the waiter parks immediately: a
+    /// yield-spin here oversubscribes runners with fewer hardware threads
+    /// than stream workers, stealing timeslices from the lock holder.
     pub fn lock_compute(&self) -> std::sync::MutexGuard<'_, ()> {
-        if let Some(guard) = self.compute_lock.try_lock() {
-            return guard;
-        }
-        let mut idle_rounds = 0u32;
         loop {
             if let Some(guard) = self.compute_lock.try_lock() {
                 return guard;
             }
-            if rayon::help_one() {
-                idle_rounds = 0;
-            } else {
-                idle_rounds += 1;
-                if idle_rounds > 64 {
-                    // Nothing to help with: fall back to a real block.
-                    return self.compute_lock.lock();
-                }
-                std::thread::yield_now();
+            if !rayon::help_one() {
+                // Nothing to help with: park on the lock.
+                return self.compute_lock.lock();
             }
         }
     }
@@ -124,6 +119,7 @@ impl Device {
                 cost,
                 transfer,
                 used_bytes: AtomicUsize::new(0),
+                peak_bytes: AtomicUsize::new(0),
                 compute_lock: Mutex::new(()),
             }),
         }
@@ -169,6 +165,12 @@ impl Device {
         self.inner.props.global_mem_bytes - self.used_bytes()
     }
 
+    /// High-water mark of allocated global memory over the device's
+    /// lifetime (out-of-core runs report this against the capacity).
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.peak_bytes.load(Ordering::Relaxed)
+    }
+
     /// Reserve `bytes` of global memory, failing like `cudaMalloc` when the
     /// capacity is exhausted.
     pub(crate) fn alloc_bytes(&self, bytes: usize) -> Result<(), DeviceError> {
@@ -187,7 +189,10 @@ impl Device {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.inner.peak_bytes.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Err(observed) => current = observed,
             }
         }
@@ -235,6 +240,7 @@ mod tests {
         assert!(matches!(err, DeviceError::OutOfMemory { .. }));
         d.free_bytes(1000);
         assert_eq!(d.used_bytes(), 0);
+        assert_eq!(d.peak_bytes(), 1000, "peak survives frees");
     }
 
     #[test]

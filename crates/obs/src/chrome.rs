@@ -27,7 +27,7 @@ pub const DEVICE_PID: u64 = 0;
 pub const HOST_PID: u64 = 1;
 pub const POOL_PID: u64 = 2;
 
-/// Stable lane (tid) assignment for device engines.
+/// Stable lane (tid) assignment for device engines (device 0).
 pub fn engine_tid(engine: Engine) -> u64 {
     match engine {
         Engine::H2D => 0,
@@ -37,6 +37,13 @@ pub fn engine_tid(engine: Engine) -> u64 {
     }
 }
 
+/// Lane (tid) for an engine of simulated device `device`: devices get
+/// disjoint 16-lane tid blocks, so a sharded run's per-shard pipelines
+/// render as separate lane groups. Device 0 keeps the historical tids.
+pub fn device_engine_tid(device: u32, engine: Engine) -> u64 {
+    device as u64 * 16 + engine_tid(engine)
+}
+
 /// Human-readable lane name for a device engine.
 pub fn engine_lane_name(engine: Engine) -> String {
     match engine {
@@ -44,6 +51,16 @@ pub fn engine_lane_name(engine: Engine) -> String {
         Engine::Compute => "Compute".to_string(),
         Engine::D2H => "D2H".to_string(),
         Engine::Host(l) => format!("Host {l}"),
+    }
+}
+
+/// Lane name for an engine of simulated device `device`; shard devices
+/// are prefixed so Perfetto groups read "shard1 Compute" etc.
+pub fn device_engine_lane_name(device: u32, engine: Engine) -> String {
+    if device == 0 {
+        engine_lane_name(engine)
+    } else {
+        format!("shard{device} {}", engine_lane_name(engine))
     }
 }
 
@@ -85,21 +102,22 @@ pub fn export(rec: &Recorder) -> String {
         );
     }
 
-    // Device lane names, one per engine actually used, in tid order.
-    let mut lanes: Vec<Engine> = Vec::new();
+    // Device lane names, one per (device, engine) actually used, in tid
+    // order.
+    let mut lanes: Vec<(u32, Engine)> = Vec::new();
     for op in &device_ops {
-        if !lanes.contains(&op.engine) {
-            lanes.push(op.engine);
+        if !lanes.contains(&(op.device, op.engine)) {
+            lanes.push((op.device, op.engine));
         }
     }
-    lanes.sort_by_key(|e| engine_tid(*e));
-    for engine in &lanes {
+    lanes.sort_by_key(|&(d, e)| device_engine_tid(d, e));
+    for &(device, engine) in &lanes {
         metadata_event(
             &mut w,
             "thread_name",
             DEVICE_PID,
-            engine_tid(*engine),
-            &engine_lane_name(*engine),
+            device_engine_tid(device, engine),
+            &device_engine_lane_name(device, engine),
         );
     }
 
@@ -123,7 +141,7 @@ pub fn export(rec: &Recorder) -> String {
         w.field_float("ts", op.start_us);
         w.field_float("dur", op.dur_us);
         w.field_uint("pid", DEVICE_PID);
-        w.field_uint("tid", engine_tid(op.engine));
+        w.field_uint("tid", device_engine_tid(op.device, op.engine));
         w.key("args");
         w.begin_object();
         w.field_uint("chain", op.chain as u64);
@@ -197,6 +215,31 @@ mod tests {
         ];
         let tids: Vec<u64> = lanes.iter().map(|&e| engine_tid(e)).collect();
         assert_eq!(tids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shard_devices_get_disjoint_lane_blocks() {
+        // Device 0 keeps the historical tids; shard devices move to
+        // their own 16-lane blocks with prefixed names.
+        assert_eq!(device_engine_tid(0, Engine::Compute), 1);
+        assert_eq!(device_engine_tid(1, Engine::H2D), 16);
+        assert_eq!(device_engine_tid(2, Engine::Host(1)), 36);
+        assert_eq!(device_engine_lane_name(0, Engine::Compute), "Compute");
+        assert_eq!(device_engine_lane_name(1, Engine::D2H), "shard1 D2H");
+
+        let rec = Recorder::new();
+        rec.record_device_op_on(
+            1,
+            Engine::Compute,
+            "kernel",
+            0,
+            0,
+            SimTime::ZERO,
+            SimDuration::from_secs(0.5),
+        );
+        let json = export(&rec);
+        assert!(json.contains(r#""shard1 Compute""#), "{json}");
+        assert!(json.contains(r#""tid":17"#), "{json}");
     }
 
     #[test]

@@ -43,6 +43,10 @@ use std::time::Instant;
 /// timeline (microseconds of simulated time since schedule start).
 #[derive(Debug, Clone)]
 pub struct DeviceOp {
+    /// Simulated device index: 0 for single-device runs; sharded runs
+    /// record each shard's pipeline under its own device so the Chrome
+    /// trace shows one lane group per shard.
+    pub device: u32,
     pub engine: Engine,
     pub label: String,
     pub chain: usize,
@@ -122,8 +126,8 @@ impl Recorder {
         &self.metrics
     }
 
-    /// Place one operation on a device engine lane. `start` is simulated
-    /// time since the start of the device timeline.
+    /// Place one operation on a device engine lane (device 0). `start` is
+    /// simulated time since the start of the device timeline.
     pub fn record_device_op(
         &self,
         engine: Engine,
@@ -133,7 +137,24 @@ impl Recorder {
         start: SimTime,
         dur: SimDuration,
     ) {
+        self.record_device_op_on(0, engine, label, chain, stream, start, dur);
+    }
+
+    /// [`Self::record_device_op`] on an explicit device index (sharded
+    /// runs place each shard on its own device lane group).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_device_op_on(
+        &self,
+        device: u32,
+        engine: Engine,
+        label: impl Into<String>,
+        chain: usize,
+        stream: usize,
+        start: SimTime,
+        dur: SimDuration,
+    ) {
         let op = DeviceOp {
+            device,
             engine,
             label: label.into(),
             chain,
@@ -150,10 +171,16 @@ impl Recorder {
     /// the same `OpSpec` labels `render_gantt` prints, so the ASCII Gantt
     /// and the exported trace agree.
     pub fn record_schedule(&self, schedule: &Schedule, offset: SimDuration) {
+        self.record_schedule_on(0, schedule, offset);
+    }
+
+    /// [`Self::record_schedule`] on an explicit device index.
+    pub fn record_schedule_on(&self, device: u32, schedule: &Schedule, offset: SimDuration) {
         let base = SimTime::ZERO + offset;
         let mut inner = self.inner.lock().unwrap();
         for op in &schedule.ops {
             inner.device_ops.push(DeviceOp {
+                device,
                 engine: op.engine,
                 label: op.label.to_string(),
                 chain: op.chain,

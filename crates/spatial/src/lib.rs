@@ -11,6 +11,8 @@
 //! * [`kdtree`] — an additional comparator used by the ablation benches.
 //! * [`presort`] — the unit-width x/y binning pre-sort applied to the point
 //!   database before grid construction to improve access locality.
+//! * [`shard`] — x-quantile slab partitioning with ε-halos, the spatial
+//!   layer under the multi-device sharded pipeline.
 //!
 //! All structures operate on 2-D points ([`Point2`]); the paper restricts
 //! itself to spatial (2-D) data.
@@ -22,6 +24,7 @@ pub mod kdtree;
 pub mod point;
 pub mod presort;
 pub mod rtree;
+pub mod shard;
 pub mod soa;
 
 pub use aabb::Aabb;
@@ -29,4 +32,5 @@ pub use grid::{CellRange, CellsView, GridGeometry, GridIndex, GridLayout, GridSt
 pub use kdtree::KdTree;
 pub use point::Point2;
 pub use rtree::{RTree, RTreeStats};
+pub use shard::ShardPlan;
 pub use soa::{PointStore, PointsView};

@@ -72,6 +72,19 @@ step "threads smoke (RAYON_NUM_THREADS=8)" \
     env RAYON_NUM_THREADS=8 ./target/release/repro threads \
     --scale 0.002 --trials 1 --csv target/ci-threads
 
+# Shard smoke tier (ISSUE 8): sharded vs unsharded table and clustering
+# fingerprints at k=2 (both modes) and k=4 out-of-core. The binary exits
+# nonzero on any mismatch — always fatal, like the bench smoke.
+step "shard smoke" ./target/release/repro shard --scale 0.002
+# The sharded differential tier, named and strict: every generator family
+# plus the halo-straddling adversarial generator, k in {1,2,4}, 1/2/8
+# threads, both execution modes, bitwise fingerprints and modeled-time
+# bits. Part of the quick tier above; repeated under DIFF_STRICT=1 so a
+# sharding regression is named in the CI output and always fatal.
+step "differential quick (sharded, DIFF_STRICT=1)" \
+    env DIFF_STRICT=1 RAYON_NUM_THREADS=4 \
+    cargo test -p hybrid-dbscan-core --test differential sharded -q
+
 step "fmt" cargo fmt --all --check
 
 echo "==> clippy: cargo clippy --workspace --all-targets -- -D warnings"

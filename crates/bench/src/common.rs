@@ -2,6 +2,7 @@
 //! materialization, option parsing, and table formatting.
 
 use datasets::{spec, Dataset};
+use obs::ledger::{Ledger, LedgerRecord};
 use obs::Recorder;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -34,6 +35,10 @@ pub struct Options {
     /// When set, instrumented experiments write a metrics-snapshot JSON
     /// file here (counters, gauges, histograms).
     pub metrics: Option<PathBuf>,
+    /// Run-ledger directory override (`--ledger DIR`). Defaults to
+    /// `results/ledger/`; gated experiments append one record per run and
+    /// `repro report` reads the trajectory back.
+    pub ledger: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -47,6 +52,7 @@ impl Default for Options {
             csv_dir: None,
             trace: None,
             metrics: None,
+            ledger: None,
         }
     }
 }
@@ -105,6 +111,11 @@ impl Options {
                     opts.metrics = Some(path);
                     i += used;
                 }
+                "--ledger" => {
+                    let v = args.get(i + 1).ok_or("--ledger needs a directory")?;
+                    opts.ledger = Some(PathBuf::from(v));
+                    i += 2;
+                }
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -149,6 +160,35 @@ impl Options {
             }
         }
     }
+
+    /// The run ledger for this invocation: `--ledger DIR` or the
+    /// repo-default `results/ledger/`.
+    pub fn run_ledger(&self) -> Ledger {
+        match &self.ledger {
+            Some(dir) => Ledger::at(dir.clone()),
+            None => Ledger::default_location(),
+        }
+    }
+
+    /// Append `record` to the run ledger. I/O failures are reported, not
+    /// fatal — observability must never take down a benchmark run.
+    pub fn append_ledger(&self, record: &LedgerRecord) {
+        match self.run_ledger().append(record) {
+            Ok(path) => eprintln!(
+                "# ledger: appended {} record to {}",
+                record.command,
+                path.display()
+            ),
+            Err(e) => eprintln!("# ledger: cannot append: {e}"),
+        }
+    }
+}
+
+/// `LEDGER_BASELINE_REFRESH=1` marks this run as an intentional baseline
+/// refresh: `obs::trend` allows a `modeled_time_bits` change at (exactly)
+/// such a record instead of gating on it.
+pub fn baseline_refresh() -> bool {
+    std::env::var("LEDGER_BASELINE_REFRESH").as_deref() == Ok("1")
 }
 
 /// Parse an optional path operand for flags like `--trace [path]`: uses

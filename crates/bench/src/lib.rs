@@ -15,6 +15,7 @@ pub mod figure6;
 pub mod micro;
 pub mod profile;
 pub mod regress;
+pub mod report;
 pub mod scenarios;
 pub mod schedule;
 pub mod shard;

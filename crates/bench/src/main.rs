@@ -20,6 +20,8 @@
 //!   profile   suite workloads under the pool profiler at 1/2/4/8
 //!             threads: serial fraction, Amdahl ceiling, per-worker
 //!             utilization, critical path (writes PROFILE.json)
+//!   report    cross-run trend report over the run ledger
+//!             (writes REPORT.html; TREND_STRICT=1 to gate)
 //!   ablations bandwidth / stream-count / block-size / index / alpha / split
 //!   all       everything above in paper order
 //! ```
@@ -30,8 +32,8 @@
 
 use bench::common::Options;
 use bench::{
-    ablations, figure2, figure3, figure4, figure5, figure6, profile, regress, scenarios, schedule,
-    shard, table1, table2, threads,
+    ablations, figure2, figure3, figure4, figure5, figure6, profile, regress, report, scenarios,
+    schedule, shard, table1, table2, threads,
 };
 
 fn run_ablations(opts: &Options) {
@@ -58,7 +60,7 @@ fn main() {
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         println!(
-            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|threads|shard|bench|profile|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--warmup N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]] [--compare BASELINE]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule, profile.\n\nthreads sweeps the rayon pool over {{1, 2, 4, all}} on the S1 workload and\nwrites BENCH_threads.json (set the process-wide default pool size with\nRAYON_NUM_THREADS).\n\nbench runs the fixed S1/S2/S3 benchmark suite (--warmup untimed runs,\nthen --trials timed trials per workload) and writes BENCH_suite.json\n(median/MAD/IQR per stage plus device counters). --compare BASELINE\nflags stages whose median regressed beyond the baseline's noise\nthreshold; advisory unless BENCH_STRICT=1. Baselines live under\nresults/baselines/ (see DESIGN.md, \"Benchmark methodology\").\n\nprofile runs each suite workload under the pool profiler at 1/2/4/8\nthreads and writes PROFILE.json: per-stage serial fraction and Amdahl\nmax speedup, per-worker utilization, dispatch hotspots, device critical\npath. Exits nonzero if profiling perturbs modeled time bits (the\ndeterminism policy) or PROFILE.json fails round-trip validation."
+            "repro <table1|table2|figure2|figure3|figure4|figure5|figure6|schedule|threads|shard|bench|profile|report|ablations|all>\n      [--scale X] [--datasets A,B] [--trials N] [--warmup N] [--quick] [--csv DIR]\n      [--trace [FILE]] [--metrics [FILE]] [--compare BASELINE] [--ledger DIR]\n\n--trace writes a Chrome trace-event JSON (default trace.json; open with\nhttps://ui.perfetto.dev); --metrics writes a metrics snapshot JSON\n(default metrics.json). Instrumented experiments: table2, figure4,\nschedule, profile.\n\nthreads sweeps the rayon pool over {{1, 2, 4, all}} on the S1 workload and\nwrites BENCH_threads.json (set the process-wide default pool size with\nRAYON_NUM_THREADS).\n\nbench runs the fixed S1/S2/S3 benchmark suite (--warmup untimed runs,\nthen --trials timed trials per workload) and writes BENCH_suite.json\n(median/MAD/IQR per stage plus device counters). --compare BASELINE\nflags stages whose median regressed beyond the baseline's noise\nthreshold; advisory unless BENCH_STRICT=1. Baselines live under\nresults/baselines/ (see DESIGN.md, \"Benchmark methodology\").\n\nprofile runs each suite workload under the pool profiler at 1/2/4/8\nthreads and writes PROFILE.json: per-stage serial fraction and Amdahl\nmax speedup, per-worker utilization, dispatch hotspots, device critical\npath. Exits nonzero if profiling perturbs modeled time bits (the\ndeterminism policy) or PROFILE.json fails round-trip validation.\n\nbench/threads/profile/shard append one provenance-stamped record per\nrun to the run ledger (results/ledger/ or --ledger DIR). report loads\nthe ledger, runs cross-run step/bits-change detection, and writes the\nREPORT.html dashboard; trend regressions are advisory unless\nTREND_STRICT=1. Set LEDGER_BASELINE_REFRESH=1 on a run that\nintentionally changes modeled time bits."
         );
         return;
     }
@@ -84,7 +86,18 @@ fn main() {
         "figure5" => figure5::print(&opts),
         "figure6" => figure6::print(&opts),
         "schedule" => schedule::print(&opts),
-        "threads" => threads::print(&opts),
+        "threads" => {
+            let code = threads::print(&opts);
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
+        "report" => {
+            let code = report::print(&opts);
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
         "shard" => {
             let code = shard::print(&opts);
             if code != 0 {

@@ -11,11 +11,13 @@
 //! Any bit mismatch — or a `PROFILE.json` that fails its own round-trip
 //! validation — exits nonzero, which is what CI hangs its smoke test on.
 
-use crate::common::{DatasetCache, Options, TextTable};
+use crate::common::{baseline_refresh, DatasetCache, Options, TextTable};
 use crate::regress::{kernel_name, Workload, SUITE};
 use gpu_sim::Device;
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
-use obs::analyze::{analyze, ProfileDoc, ProfileRun, SCHEMA_VERSION};
+use obs::analyze::{analyze, ProfileDoc, ProfileRun, SCHEMA, SCHEMA_VERSION};
+use obs::ledger::{GateOutcome, LedgerEntry, LedgerRecord, StagePoint, RECORD_VERSION};
+use obs::provenance::Provenance;
 use obs::Recorder;
 use std::sync::Arc;
 
@@ -96,6 +98,11 @@ pub fn print(opts: &Options) -> i32 {
         version: SCHEMA_VERSION,
         scale: opts.scale,
         host_threads: rayon::current_num_threads() as u64,
+        provenance: Some(Provenance::collect(
+            SCHEMA,
+            SCHEMA_VERSION,
+            SUITE.iter().map(|w| w.id.to_string()).collect(),
+        )),
         runs: Vec::new(),
     };
     let mut last_rec: Option<Arc<Recorder>> = None;
@@ -205,6 +212,17 @@ pub fn print(opts: &Options) -> i32 {
         }
     };
 
+    // Ledger first, artifact second: PROFILE.json is clobbered by every
+    // run, so the per-run history must be appended before the overwrite.
+    // The determinism check is always enforced (strict), never advisory.
+    let gate = GateOutcome {
+        strict: true,
+        regressions: mismatches as u64 + u64::from(!valid),
+        advisories: 0,
+        passed: mismatches == 0 && valid,
+    };
+    opts.append_ledger(&ledger_record(&doc, gate, opts));
+
     let path = opts
         .csv_dir
         .clone()
@@ -225,6 +243,74 @@ pub fn print(opts: &Options) -> i32 {
         1
     } else {
         0
+    }
+}
+
+/// Fold the profiling sweep into one run-ledger record: one entry per
+/// workload × thread count, profiled stage wall times + the modeled
+/// stage, attribution metrics, and the (always-strict) determinism gate.
+fn ledger_record(doc: &ProfileDoc, gate: GateOutcome, opts: &Options) -> LedgerRecord {
+    let entries = doc
+        .runs
+        .iter()
+        .map(|run| {
+            let mut e = LedgerEntry {
+                workload: format!("profile/{}/t{}", run.workload, run.threads),
+                modeled_time_bits: Some(run.modeled_time_bits),
+                ..LedgerEntry::default()
+            };
+            for s in &run.stages {
+                e.stages.insert(
+                    s.name.clone(),
+                    StagePoint {
+                        median_ms: s.wall_ms,
+                        mad_ms: 0.0,
+                        wall: true,
+                    },
+                );
+            }
+            e.stages.insert(
+                "modeled".into(),
+                StagePoint {
+                    median_ms: run.modeled_ms,
+                    mad_ms: 0.0,
+                    wall: false,
+                },
+            );
+            let m = &mut e.metrics;
+            m.insert("threads".into(), run.threads as f64);
+            if !run.workers.is_empty() {
+                m.insert(
+                    "worker_util_pct".into(),
+                    run.workers.iter().map(|w| w.utilization_pct).sum::<f64>()
+                        / run.workers.len() as f64,
+                );
+                m.insert(
+                    "pool_steals".into(),
+                    run.workers.iter().map(|w| w.steals).sum::<u64>() as f64,
+                );
+            }
+            if let Some(b) = run.stages.iter().find(|s| s.name == "build_table") {
+                m.insert("serial_fraction_build".into(), b.serial_fraction);
+            }
+            m.insert(
+                "bits_match_unprofiled".into(),
+                f64::from(u8::from(run.bits_match_unprofiled)),
+            );
+            e
+        })
+        .collect();
+    LedgerRecord {
+        version: RECORD_VERSION,
+        command: "profile".into(),
+        scale: opts.scale,
+        baseline_refresh: baseline_refresh(),
+        provenance: doc
+            .provenance
+            .clone()
+            .unwrap_or_else(|| Provenance::collect(SCHEMA, doc.version, Vec::new())),
+        gate,
+        entries,
     }
 }
 

@@ -19,12 +19,14 @@
 //! they inform but never gate. See DESIGN.md, "Benchmark methodology &
 //! regression policy".
 
-use crate::common::{DatasetCache, Options, TextTable};
+use crate::common::{baseline_refresh, DatasetCache, Options, TextTable};
 use crate::stats;
 use gpu_sim::Device;
 use hybrid_dbscan_core::disjoint_set::dbscan_disjoint_set;
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan, KernelChoice};
 use obs::bench::{BenchDoc, StageStats, WorkloadResult, SCHEMA_VERSION};
+use obs::ledger::{GateOutcome, LedgerEntry, LedgerRecord, StagePoint, RECORD_VERSION};
+use obs::provenance::Provenance;
 use obs::Recorder;
 use std::sync::Arc;
 use std::time::Instant;
@@ -146,6 +148,9 @@ fn run_workload(
         dbscan_ms.push(dbscan_time.as_millis());
         disjoint_ms.push(disjoint);
         modeled_ms.push(handle.gpu.modeled_time.as_millis());
+        // Exact bit pattern of the modeled seconds: the determinism
+        // witness the ledger/trend layer tracks across runs.
+        out.modeled_time_bits = Some(handle.gpu.modeled_time.as_secs().to_bits());
 
         // Device counters and scalar telemetry from the last trial (they
         // are modeled, hence identical across trials).
@@ -205,12 +210,18 @@ pub fn run_suite(opts: &Options) -> BenchDoc {
     // baseline, 2-shard concurrent speedup, 4-shard out-of-core under a
     // device limit the unsharded build exceeds.
     workloads.extend(crate::shard::run_shard_workloads(opts));
+    let workload_ids = workloads.iter().map(|w| w.id.clone()).collect();
     BenchDoc {
         version: SCHEMA_VERSION,
         scale: opts.scale,
         trials: opts.trials.max(1) as u64,
         warmup: opts.warmup as u64,
         host_threads: rayon::current_num_threads() as u64,
+        provenance: Some(Provenance::collect(
+            obs::bench::SCHEMA,
+            SCHEMA_VERSION,
+            workload_ids,
+        )),
         workloads,
     }
 }
@@ -346,6 +357,47 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc) -> CompareReport {
         }
     }
     report
+}
+
+/// Fold a suite run into one run-ledger record (per-workload stage
+/// medians/MAD, modeled bits, scalar metrics, and the gate outcome).
+pub fn ledger_record(doc: &BenchDoc, gate: GateOutcome) -> LedgerRecord {
+    let entries = doc
+        .workloads
+        .iter()
+        .map(|wl| {
+            let mut e = LedgerEntry {
+                workload: wl.id.clone(),
+                modeled_time_bits: wl.modeled_time_bits,
+                ..LedgerEntry::default()
+            };
+            for (stage, s) in &wl.stages {
+                e.stages.insert(
+                    stage.clone(),
+                    StagePoint {
+                        median_ms: s.median_ms,
+                        mad_ms: s.mad_ms,
+                        wall: is_wall_stage(stage),
+                    },
+                );
+            }
+            e.metrics
+                .extend(wl.metrics.iter().map(|(k, v)| (k.clone(), *v)));
+            e
+        })
+        .collect();
+    LedgerRecord {
+        version: RECORD_VERSION,
+        command: "bench".into(),
+        scale: doc.scale,
+        baseline_refresh: baseline_refresh(),
+        provenance: doc
+            .provenance
+            .clone()
+            .unwrap_or_else(|| Provenance::collect(obs::bench::SCHEMA, doc.version, Vec::new())),
+        gate,
+        entries,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -492,32 +544,52 @@ pub fn print(opts: &Options) -> i32 {
         Err(e) => eprintln!("# bench: cannot write {}: {e}", path.display()),
     }
 
-    let Some(baseline_path) = &opts.compare else {
-        return 0;
+    // Gate, then append the run (with its gate outcome) to the ledger —
+    // the append happens on every path, comparison or not, so the ledger
+    // is the complete run history.
+    let mut gate = GateOutcome {
+        strict,
+        regressions: 0,
+        advisories: 0,
+        passed: true,
     };
-    let baseline = match std::fs::read_to_string(baseline_path)
-        .map_err(|e| e.to_string())
-        .and_then(|t| BenchDoc::parse(&t))
-    {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!(
-                "# bench: cannot load baseline {}: {e}",
-                baseline_path.display()
-            );
-            return if strict { 1 } else { 0 };
+    let mut exit = 0;
+    if let Some(baseline_path) = &opts.compare {
+        match std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| BenchDoc::parse(&t))
+        {
+            Ok(baseline) => {
+                let report = compare(&baseline, &doc);
+                print_compare(&report, baseline_path);
+                gate.regressions = report.regressions().len() as u64;
+                gate.advisories = report.wall_drift().len() as u64;
+                if !report.regressions().is_empty() {
+                    if strict {
+                        eprintln!("# bench: regressions found (BENCH_STRICT=1 — failing)");
+                        gate.passed = false;
+                        exit = 1;
+                    } else {
+                        eprintln!(
+                            "# bench: regressions found (advisory; set BENCH_STRICT=1 to enforce)"
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "# bench: cannot load baseline {}: {e}",
+                    baseline_path.display()
+                );
+                if strict {
+                    gate.passed = false;
+                    exit = 1;
+                }
+            }
         }
-    };
-    let report = compare(&baseline, &doc);
-    print_compare(&report, baseline_path);
-    if !report.regressions().is_empty() {
-        if strict {
-            eprintln!("# bench: regressions found (BENCH_STRICT=1 — failing)");
-            return 1;
-        }
-        eprintln!("# bench: regressions found (advisory; set BENCH_STRICT=1 to enforce)");
     }
-    0
+    opts.append_ledger(&ledger_record(&doc, gate));
+    exit
 }
 
 #[cfg(test)]
@@ -554,6 +626,7 @@ mod tests {
             trials: 3,
             warmup: 1,
             host_threads: 4,
+            provenance: None,
             workloads: vec![wl],
         }
     }
@@ -660,6 +733,30 @@ mod tests {
         let report = compare(&base, &empty);
         assert_eq!(report.missing, vec!["s1/test/global".to_string()]);
         assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn ledger_record_carries_stages_bits_and_gate() {
+        let mut doc = doc_with(100.0, 250.0, 1.0);
+        doc.workloads[0].modeled_time_bits = Some(0xdead_beef_dead_beef);
+        let gate = GateOutcome {
+            strict: true,
+            regressions: 1,
+            advisories: 2,
+            passed: false,
+        };
+        let rec = ledger_record(&doc, gate);
+        assert_eq!(rec.command, "bench");
+        assert!(!rec.gate.passed);
+        assert_eq!(rec.gate.regressions, 1);
+        let e = &rec.entries[0];
+        assert_eq!(e.modeled_time_bits, Some(0xdead_beef_dead_beef));
+        assert!(!e.stages["modeled"].wall, "modeled gates, never wall");
+        assert!(e.stages["build_table"].wall);
+        assert_eq!(e.stages["build_table"].median_ms, 250.0);
+        let line = rec.to_json();
+        let back = LedgerRecord::parse(&line).expect("record parses");
+        assert_eq!(back.to_json(), line, "ledger round trip is exact");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   unsharded and at k = 2 in both modes, compares table and clustering
 //!   fingerprints, and exits nonzero on any mismatch.
 
-use crate::common::{DatasetCache, Options, TextTable};
+use crate::common::{baseline_refresh, DatasetCache, Options, TextTable};
 use crate::stats;
 use gpu_sim::Device;
 use hybrid_dbscan_core::disjoint_set::dbscan_disjoint_set;
@@ -23,8 +23,16 @@ use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
 use hybrid_dbscan_core::shard::{ShardConfig, ShardMode, ShardedHybrid, ShardedTableHandle};
 use hybrid_dbscan_core::{clustering_fingerprint, table_fingerprint};
 use obs::bench::WorkloadResult;
+use obs::json::JsonWriter;
+use obs::ledger::{GateOutcome, LedgerEntry, LedgerRecord, StagePoint, RECORD_VERSION};
+use obs::provenance::Provenance;
 use spatial::Point2;
 use std::time::Instant;
+
+/// Schema id / version of `SHARD_fingerprints.json` (the smoke run's
+/// provenance-stamped fingerprint artifact).
+pub const SCHEMA: &str = "hybrid-dbscan/shard-fingerprints";
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// The shard workload dataset and parameters (S1's SW1 pairing).
 const DATASET: &str = "SW1";
@@ -99,6 +107,7 @@ fn workload_result(
         "result_pairs".into(),
         handle.shards.iter().map(|s| s.result_pairs).sum::<usize>() as f64,
     );
+    out.modeled_time_bits = Some(handle.modeled_time.as_secs().to_bits());
     out
 }
 
@@ -200,6 +209,20 @@ pub fn print(opts: &Options) -> i32 {
     let mut t = TextTable::new(&[
         "config", "modeled", "peak MiB", "halo pts", "table", "clusters",
     ]);
+    struct SmokeRow {
+        id: String,
+        shards: usize,
+        mode: &'static str,
+        modeled_ms: f64,
+        modeled_bits: u64,
+        peak_bytes: usize,
+        halo_points: usize,
+        table_fp: u64,
+        clusters_fp: u64,
+        table_ok: bool,
+        clusters_ok: bool,
+    }
+    let mut rows: Vec<SmokeRow> = Vec::new();
     let mut failed = false;
     for (label, k, mode) in [
         ("k=2 concurrent", 2, ShardMode::Concurrent),
@@ -207,10 +230,12 @@ pub fn print(opts: &Options) -> i32 {
         ("k=4 out-of-core", 4, ShardMode::OutOfCore),
     ] {
         let (handle, _) = sharded_build(&Device::k20c(), mode, k, &points);
-        let table_ok = table_fingerprint(&handle.table) == ref_table;
-        let clusters_ok = clustering_fingerprint(
+        let table_fp = table_fingerprint(&handle.table);
+        let clusters_fp = clustering_fingerprint(
             &dbscan_disjoint_set(&handle.table, MINPTS).unpermute(&handle.perm),
-        ) == ref_clusters;
+        );
+        let table_ok = table_fp == ref_table;
+        let clusters_ok = clusters_fp == ref_clusters;
         failed |= !(table_ok && clusters_ok);
         let verdict = |ok: bool| if ok { "match" } else { "MISMATCH" }.to_string();
         t.row(vec![
@@ -226,8 +251,128 @@ pub fn print(opts: &Options) -> i32 {
             verdict(table_ok),
             verdict(clusters_ok),
         ]);
+        let mode_name = match mode {
+            ShardMode::Concurrent => "concurrent",
+            ShardMode::OutOfCore => "outofcore",
+        };
+        rows.push(SmokeRow {
+            id: format!("shard/smoke/k{k}-{mode_name}"),
+            shards: k,
+            mode: mode_name,
+            modeled_ms: handle.modeled_time.as_millis(),
+            modeled_bits: handle.modeled_time.as_secs().to_bits(),
+            peak_bytes: handle.peak_bytes,
+            halo_points: handle.shards.iter().map(|s| s.halo_points).sum(),
+            table_fp,
+            clusters_fp,
+            table_ok,
+            clusters_ok,
+        });
     }
     t.print();
+
+    let prov = Provenance::collect(
+        SCHEMA,
+        SCHEMA_VERSION,
+        rows.iter().map(|r| r.id.clone()).collect(),
+    );
+
+    // SHARD_fingerprints.json: the provenance-stamped fingerprint witness
+    // of this smoke run (fingerprints as 16-hex-digit strings — they are
+    // full 64-bit patterns the JSON number space cannot carry).
+    let hex = |v: u64| format!("{v:016x}");
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", SCHEMA);
+    w.field_uint("version", SCHEMA_VERSION);
+    prov.write_field(&mut w);
+    w.key("reference");
+    w.begin_object();
+    w.field_str("table_fingerprint", &hex(ref_table));
+    w.field_str("clustering_fingerprint", &hex(ref_clusters));
+    w.end_object();
+    w.key("configs");
+    w.begin_array();
+    for r in &rows {
+        w.begin_object();
+        w.field_str("id", &r.id);
+        w.field_uint("shards", r.shards as u64);
+        w.field_str("mode", r.mode);
+        w.field_float("modeled_ms", r.modeled_ms);
+        w.field_uint("peak_bytes", r.peak_bytes as u64);
+        w.field_uint("halo_points", r.halo_points as u64);
+        w.field_str("table_fingerprint", &hex(r.table_fp));
+        w.field_str("clustering_fingerprint", &hex(r.clusters_fp));
+        w.field_bool("matches_reference", r.table_ok && r.clusters_ok);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
+    if let Err(e) = obs::json::parse(&json) {
+        eprintln!("# shard: INTERNAL ERROR: emitted fingerprint doc does not parse: {e}");
+        return 1;
+    }
+    let path = opts
+        .csv_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+        .join("SHARD_fingerprints.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("# shard: wrote {}", path.display()),
+        Err(e) => eprintln!("# shard: cannot write {}: {e}", path.display()),
+    }
+
+    // Run-ledger record: fingerprint equivalence is always strict.
+    let mismatches = rows
+        .iter()
+        .filter(|r| !(r.table_ok && r.clusters_ok))
+        .count();
+    let entries = rows
+        .iter()
+        .map(|r| {
+            let mut e = LedgerEntry {
+                workload: r.id.clone(),
+                modeled_time_bits: Some(r.modeled_bits),
+                ..LedgerEntry::default()
+            };
+            e.stages.insert(
+                "modeled".into(),
+                StagePoint {
+                    median_ms: r.modeled_ms,
+                    mad_ms: 0.0,
+                    wall: false,
+                },
+            );
+            let m = &mut e.metrics;
+            m.insert("shards".into(), r.shards as f64);
+            m.insert("peak_bytes".into(), r.peak_bytes as f64);
+            m.insert("halo_points".into(), r.halo_points as f64);
+            m.insert(
+                "matches_reference".into(),
+                f64::from(u8::from(r.table_ok && r.clusters_ok)),
+            );
+            e
+        })
+        .collect();
+    opts.append_ledger(&LedgerRecord {
+        version: RECORD_VERSION,
+        command: "shard".into(),
+        scale: opts.scale,
+        baseline_refresh: baseline_refresh(),
+        provenance: prov,
+        gate: GateOutcome {
+            strict: true,
+            regressions: mismatches as u64,
+            advisories: 0,
+            passed: !failed,
+        },
+        entries,
+    });
+
     if failed {
         eprintln!("# shard: FINGERPRINT MISMATCH — sharded output diverged from unsharded");
         1

@@ -17,16 +17,30 @@
 //! Results are written to `BENCH_threads.json` (under `--csv DIR` when
 //! given, else the working directory).
 
-use crate::common::{fmt_secs, DatasetCache, Options, TextTable};
+use crate::common::{baseline_refresh, fmt_secs, DatasetCache, Options, TextTable};
 use crate::table2;
 use gpu_sim::Device;
 use hybrid_dbscan_core::disjoint_set::dbscan_disjoint_set;
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
 use obs::json::JsonWriter;
+use obs::ledger::{GateOutcome, LedgerEntry, LedgerRecord, StagePoint, RECORD_VERSION};
+use obs::provenance::Provenance;
 use std::time::Instant;
+
+/// Schema id / version of `BENCH_threads.json`. Version 2 added the
+/// schema header + provenance block and moved `modeled_time_bits` to the
+/// 16-hex-digit string encoding every other artifact uses (the JSON
+/// number space is f64 — a raw integer cannot carry all 64 bits).
+pub const SCHEMA: &str = "hybrid-dbscan/threads";
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// minpts for the clustering stages (the paper's S2 sweep midpoint).
 const MINPTS: usize = 4;
+
+/// Stable ledger/compare id of one sweep point.
+pub fn workload_id(dataset: &str, eps: f64, threads: usize) -> String {
+    format!("threads/{}-eps{eps}/t{threads}", dataset.to_lowercase())
+}
 
 /// One sweep point: wall-clock medians over `trials` runs at `threads`
 /// pool threads, plus the modeled/functional outputs whose bitwise
@@ -249,10 +263,14 @@ fn render_json(
     n_points: usize,
     opts: &Options,
     rows: &[SweepRow],
+    prov: &Provenance,
 ) -> String {
     let base = &rows[0];
     let mut w = JsonWriter::new();
     w.begin_object();
+    w.field_str("schema", SCHEMA);
+    w.field_uint("version", SCHEMA_VERSION);
+    prov.write_field(&mut w);
     w.key("workload");
     w.begin_object();
     w.field_str("dataset", dataset);
@@ -285,7 +303,7 @@ fn render_json(
         w.field_float("worker_util_pct", r.worker_util_pct);
         w.field_uint("pool_steals", r.pool_steals);
         w.field_float("modeled_time_ms", r.modeled_s * 1e3);
-        w.field_uint("modeled_time_bits", r.modeled_bits);
+        w.field_str("modeled_time_bits", &format!("{:016x}", r.modeled_bits));
         w.field_uint("clusters", r.clusters as u64);
         w.field_uint("result_pairs", r.result_pairs as u64);
         w.end_object();
@@ -295,8 +313,79 @@ fn render_json(
     w.finish()
 }
 
+/// Fold one sweep into a run-ledger record: one entry per thread count,
+/// wall stages + the modeled stage (single-run medians, MAD 0), the
+/// speedup/attribution columns as metrics, and the gate outcome.
+pub fn ledger_record(
+    dataset: &str,
+    eps: f64,
+    opts: &Options,
+    rows: &[SweepRow],
+    prov: Provenance,
+    gate: GateOutcome,
+) -> LedgerRecord {
+    let base = &rows[0];
+    let entries = rows
+        .iter()
+        .map(|r| {
+            let mut e = LedgerEntry {
+                workload: workload_id(dataset, eps, r.threads),
+                modeled_time_bits: Some(r.modeled_bits),
+                ..LedgerEntry::default()
+            };
+            let wall = |s: f64| StagePoint {
+                median_ms: s * 1e3,
+                mad_ms: 0.0,
+                wall: true,
+            };
+            e.stages.insert("build_table".into(), wall(r.build_table_s));
+            e.stages.insert("dbscan".into(), wall(r.dbscan_s));
+            e.stages
+                .insert("disjoint_set".into(), wall(r.disjoint_set_s));
+            e.stages.insert(
+                "modeled".into(),
+                StagePoint {
+                    median_ms: r.modeled_s * 1e3,
+                    mad_ms: 0.0,
+                    wall: false,
+                },
+            );
+            let m = &mut e.metrics;
+            m.insert("threads".into(), r.threads as f64);
+            m.insert(
+                "speedup_build_table".into(),
+                safe_speedup(base.build_table_s, r.build_table_s),
+            );
+            m.insert(
+                "speedup_dbscan".into(),
+                safe_speedup(base.dbscan_s, r.dbscan_s),
+            );
+            m.insert(
+                "speedup_disjoint_set".into(),
+                safe_speedup(base.disjoint_set_s, r.disjoint_set_s),
+            );
+            m.insert("serial_fraction_build".into(), r.serial_fraction_build);
+            m.insert("worker_util_pct".into(), r.worker_util_pct);
+            m.insert("pool_steals".into(), r.pool_steals as f64);
+            m.insert("clusters".into(), r.clusters as f64);
+            m.insert("result_pairs".into(), r.result_pairs as f64);
+            e
+        })
+        .collect();
+    LedgerRecord {
+        version: RECORD_VERSION,
+        command: "threads".into(),
+        scale: opts.scale,
+        baseline_refresh: baseline_refresh(),
+        provenance: prov,
+        gate,
+        entries,
+    }
+}
+
 /// Run the sweep, print the scaling table, and write `BENCH_threads.json`.
-pub fn print(opts: &Options) {
+/// Returns the process exit code.
+pub fn print(opts: &Options) -> i32 {
     println!("== Thread scaling (S1): rayon pool sweep over {{1, 2, 4, all}} ==");
     println!("Wall-clock per stage; modeled times and clusterings must be");
     println!("bitwise identical at every thread count (determinism policy).\n");
@@ -343,7 +432,28 @@ pub fn print(opts: &Options) {
         }
     );
 
-    let json = render_json(&dataset, eps, n_points, opts, &rows);
+    // Gate first, append the run (with its gate outcome) to the ledger,
+    // and only then overwrite the BENCH_threads.json artifact: the
+    // artifact is a snapshot that each run clobbers, so the ledger is
+    // where the history survives.
+    let prov = Provenance::collect(
+        SCHEMA,
+        SCHEMA_VERSION,
+        rows.iter()
+            .map(|r| workload_id(&dataset, eps, r.threads))
+            .collect(),
+    );
+    let (gate, code) = gate(&rows, identical);
+    opts.append_ledger(&ledger_record(
+        &dataset,
+        eps,
+        opts,
+        &rows,
+        prov.clone(),
+        gate,
+    ));
+
+    let json = render_json(&dataset, eps, n_points, opts, &rows, &prov);
     let path = opts
         .csv_dir
         .clone()
@@ -356,7 +466,7 @@ pub fn print(opts: &Options) {
         Ok(()) => eprintln!("# threads: wrote {}", path.display()),
         Err(e) => eprintln!("# threads: cannot write {}: {e}", path.display()),
     }
-    gate(&rows, identical);
+    code
 }
 
 /// Minimum acceptable `build_table` speedup at 4 threads when the gate
@@ -369,19 +479,31 @@ const STRICT_MIN_SPEEDUP_4T: f64 = 1.8;
 /// `THREADS_STRICT=1` promotes the speedup shortfall to a failure on
 /// runners known to have ≥ 4 cores. A determinism violation is always
 /// fatal — that invariant does not depend on the hardware.
-fn gate(rows: &[SweepRow], identical: bool) {
+///
+/// Returns the outcome (recorded in the run ledger) and the exit code —
+/// the caller appends the ledger record before exiting, so failed runs
+/// leave history too.
+fn gate(rows: &[SweepRow], identical: bool) -> (GateOutcome, i32) {
+    let strict = std::env::var("THREADS_STRICT").is_ok_and(|v| v == "1");
+    let mut out = GateOutcome {
+        strict,
+        regressions: 0,
+        advisories: 0,
+        passed: true,
+    };
     if !identical {
         eprintln!("# threads: FATAL: modeled outputs differ across thread counts");
-        std::process::exit(1);
+        out.regressions = 1;
+        out.passed = false;
+        return (out, 1);
     }
-    let strict = std::env::var("THREADS_STRICT").is_ok_and(|v| v == "1");
     let base = &rows[0];
     let Some(four) = rows.iter().find(|r| r.threads == 4) else {
-        return;
+        return (out, 0);
     };
     let speedup = safe_speedup(base.build_table_s, four.build_table_s);
     if speedup >= STRICT_MIN_SPEEDUP_4T {
-        return;
+        return (out, 0);
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
@@ -390,9 +512,13 @@ fn gate(rows: &[SweepRow], identical: bool) {
     );
     if strict {
         eprintln!("# threads: THREADS_STRICT=1 — failing");
-        std::process::exit(1);
+        out.regressions = 1;
+        out.passed = false;
+        return (out, 1);
     }
     eprintln!("# threads: advisory only (set THREADS_STRICT=1 to enforce)");
+    out.advisories = 1;
+    (out, 0)
 }
 
 #[cfg(test)]
@@ -431,6 +557,22 @@ mod tests {
         assert!(safe_speedup(1e-10, 1e-10).is_finite());
     }
 
+    fn test_provenance() -> Provenance {
+        Provenance {
+            header_version: obs::provenance::HEADER_VERSION,
+            schema: SCHEMA.into(),
+            schema_version: SCHEMA_VERSION,
+            git_sha: "ee9aa08269b9".into(),
+            git_dirty: false,
+            rustc: "rustc 1.95.0".into(),
+            rayon_num_threads: "unset".into(),
+            host: "testhost".into(),
+            os: "linux".into(),
+            timestamp_unix: 1_754_611_200,
+            workloads: vec![workload_id("SW1", 0.2, 1), workload_id("SW1", 0.2, 4)],
+        }
+    }
+
     #[test]
     fn rendered_json_parses_with_shared_parser() {
         // Regression: `bitwise_identical` used to be pushed raw past the
@@ -466,7 +608,15 @@ mod tests {
             },
         ];
         let opts = Options::default();
-        let doc = parse(&render_json("SW1", 0.2, 1000, &opts, &rows)).expect("valid JSON");
+        let prov = test_provenance();
+        let doc = parse(&render_json("SW1", 0.2, 1000, &opts, &rows, &prov)).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+        assert_eq!(
+            doc.get("version").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let parsed_prov = Provenance::parse_field(&doc).expect("well-formed provenance");
+        assert_eq!(parsed_prov, Some(prov));
         assert_eq!(
             doc.get("bitwise_identical").and_then(JsonValue::as_bool),
             Some(true)
@@ -477,6 +627,14 @@ mod tests {
         assert_eq!(
             sweep[1].get("pool_steals").and_then(JsonValue::as_u64),
             Some(9)
+        );
+        // Bits travel as a hex string: u64::MAX survives where an f64
+        // number could not carry it.
+        assert_eq!(
+            sweep[0]
+                .get("modeled_time_bits")
+                .and_then(JsonValue::as_str),
+            Some("ffffffffffffffff")
         );
         assert!(sweep[1]
             .get("serial_fraction_build")
@@ -492,5 +650,59 @@ mod tests {
                 .and_then(JsonValue::as_str),
             Some("SW1")
         );
+    }
+
+    #[test]
+    fn sweep_ledger_record_round_trips_and_keys_by_thread_count() {
+        let rows = vec![
+            SweepRow {
+                threads: 1,
+                build_table_s: 1.0,
+                dbscan_s: 0.1,
+                disjoint_set_s: 0.2,
+                modeled_bits: 0x3fe0_0000_0000_0001,
+                modeled_s: 0.5,
+                clusters: 7,
+                result_pairs: 1234,
+                serial_fraction_build: 1.0,
+                worker_util_pct: 96.0,
+                pool_steals: 0,
+            },
+            SweepRow {
+                threads: 4,
+                build_table_s: 0.4,
+                dbscan_s: 0.1,
+                disjoint_set_s: 0.1,
+                modeled_bits: 0x3fe0_0000_0000_0001,
+                modeled_s: 0.5,
+                clusters: 7,
+                result_pairs: 1234,
+                serial_fraction_build: 0.4,
+                worker_util_pct: 62.5,
+                pool_steals: 9,
+            },
+        ];
+        let opts = Options::default();
+        let gate = GateOutcome {
+            strict: false,
+            regressions: 0,
+            advisories: 1,
+            passed: true,
+        };
+        let rec = ledger_record("SW1", 0.2, &opts, &rows, test_provenance(), gate);
+        assert_eq!(rec.command, "threads");
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.entries[1].workload, "threads/sw1-eps0.2/t4");
+        assert_eq!(rec.entries[1].metrics["threads"], 4.0);
+        assert_eq!(rec.entries[1].metrics["speedup_build_table"], 2.5);
+        assert!(rec.entries[1].stages["build_table"].wall);
+        assert!(!rec.entries[1].stages["modeled"].wall);
+        assert_eq!(
+            rec.entries[0].modeled_time_bits,
+            Some(0x3fe0_0000_0000_0001)
+        );
+        let line = rec.to_json();
+        let back = LedgerRecord::parse(&line).expect("record parses");
+        assert_eq!(back.to_json(), line, "ledger round trip is exact");
     }
 }

@@ -32,12 +32,16 @@
 //! [`crate::json`]: `parse(doc.to_json()).to_json() == doc.to_json()`.
 
 use crate::json::{self, JsonValue, JsonWriter};
+use crate::provenance::Provenance;
 use crate::{DeviceOp, Recorder};
 use std::collections::BTreeMap;
 
 /// Document identifier; bump [`SCHEMA_VERSION`] on incompatible changes.
+///
+/// Version history: v1 had no provenance header; v2 (PR 9) added it.
+/// [`ProfileDoc::parse`] still accepts v1 documents (provenance `None`).
 pub const SCHEMA: &str = "hybrid-dbscan/profile";
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Floor for the serial fraction in the Amdahl ceiling, so a fully
 /// parallel stage reports a finite (10 000×) max speedup instead of inf.
@@ -402,6 +406,8 @@ pub struct ProfileDoc {
     pub version: u64,
     pub scale: f64,
     pub host_threads: u64,
+    /// Identity of the producing run. `None` only on parsed v1 documents.
+    pub provenance: Option<Provenance>,
     pub runs: Vec<ProfileRun>,
 }
 
@@ -413,6 +419,9 @@ impl ProfileDoc {
         w.field_uint("version", self.version);
         w.field_float("scale", self.scale);
         w.field_uint("host_threads", self.host_threads);
+        if let Some(p) = &self.provenance {
+            p.write_field(&mut w);
+        }
         w.key("runs");
         w.begin_array();
         for run in &self.runs {
@@ -506,15 +515,16 @@ impl ProfileDoc {
             return Err(format!("unexpected schema '{schema}' (want '{SCHEMA}')"));
         }
         let version = req_u64(&v, "version")?;
-        if version != SCHEMA_VERSION {
+        if !(1..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema version {version} (supported: {SCHEMA_VERSION})"
+                "unsupported schema version {version} (supported: 1..={SCHEMA_VERSION})"
             ));
         }
         let mut doc = ProfileDoc {
             version,
             scale: req_f64(&v, "scale")?,
             host_threads: req_u64(&v, "host_threads")?,
+            provenance: Provenance::parse_field(&v)?,
             runs: Vec::new(),
         };
         let runs = v
@@ -791,6 +801,19 @@ mod tests {
             version: SCHEMA_VERSION,
             scale: 0.02,
             host_threads: 8,
+            provenance: Some(Provenance {
+                header_version: crate::provenance::HEADER_VERSION,
+                schema: SCHEMA.into(),
+                schema_version: SCHEMA_VERSION,
+                git_sha: "ee9aa08269b9".into(),
+                git_dirty: false,
+                rustc: "rustc 1.95.0".into(),
+                rayon_num_threads: "8".into(),
+                host: "test".into(),
+                os: "linux/x86_64".into(),
+                timestamp_unix: 1_754_611_200,
+                workloads: vec!["s1/sw1-eps0.2/global".into()],
+            }),
             runs: vec![ProfileRun {
                 workload: "s1/sw1-eps0.2/global".into(),
                 scenario: "S1".into(),
@@ -856,11 +879,23 @@ mod tests {
     #[test]
     fn profile_doc_rejects_wrong_schema_and_version() {
         let text = sample_doc().to_json();
-        let wrong = text.replace(SCHEMA, "something/else");
+        let wrong = text.replacen(SCHEMA, "something/else", 1);
         assert!(ProfileDoc::parse(&wrong).unwrap_err().contains("schema"));
-        let wrong = text.replace(r#""version":1"#, r#""version":999"#);
+        let wrong = text.replacen(r#""version":2"#, r#""version":999"#, 1);
         assert!(ProfileDoc::parse(&wrong).unwrap_err().contains("version"));
         assert!(ProfileDoc::parse("{}").is_err());
         assert!(ProfileDoc::parse("not json").is_err());
+    }
+
+    #[test]
+    fn profile_doc_v1_parses_without_provenance() {
+        let mut doc = sample_doc();
+        doc.version = 1;
+        doc.provenance = None;
+        let text = doc.to_json();
+        assert!(!text.contains("provenance"));
+        let parsed = ProfileDoc::parse(&text).expect("v1 fallback");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_json(), text);
     }
 }

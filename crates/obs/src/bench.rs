@@ -12,12 +12,18 @@
 
 use crate::json::{self, JsonValue, JsonWriter};
 use crate::metrics::Metrics;
+use crate::provenance::Provenance;
 use gpu_sim::profiler::{KernelProfile, ProfileStats};
 use std::collections::BTreeMap;
 
 /// Document identifier; bump [`SCHEMA_VERSION`] on incompatible changes.
+///
+/// Version history: v1 had no provenance header and no per-workload
+/// `modeled_time_bits`; v2 (PR 9) added both. [`BenchDoc::parse`] still
+/// accepts v1 documents (the optional fields come back `None`) so
+/// `--compare` against pre-PR-9 baselines keeps working.
 pub const SCHEMA: &str = "hybrid-dbscan/bench-suite";
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Robust summary of one stage's per-trial durations (milliseconds).
 ///
@@ -52,6 +58,10 @@ pub struct WorkloadResult {
     /// Points actually clustered — baselines taken at a different scale
     /// are incomparable, and the gate detects that through this field.
     pub points: u64,
+    /// Bit pattern of the modeled device time (`to_bits()` of the modeled
+    /// seconds), serialized as a hex string. `None` on v1 documents and on
+    /// workloads without a single modeled time.
+    pub modeled_time_bits: Option<u64>,
     /// Stage name → summary (`build_table`, `dbscan`, `disjoint_set`,
     /// `modeled`).
     pub stages: BTreeMap<String, StageStats>,
@@ -70,6 +80,9 @@ pub struct BenchDoc {
     pub trials: u64,
     pub warmup: u64,
     pub host_threads: u64,
+    /// Identity of the producing run. `None` only on parsed v1 documents;
+    /// every v2 emitter stamps it.
+    pub provenance: Option<Provenance>,
     pub workloads: Vec<WorkloadResult>,
 }
 
@@ -83,6 +96,9 @@ impl BenchDoc {
         w.field_uint("trials", self.trials);
         w.field_uint("warmup", self.warmup);
         w.field_uint("host_threads", self.host_threads);
+        if let Some(p) = &self.provenance {
+            p.write_field(&mut w);
+        }
         w.key("workloads");
         w.begin_array();
         for wl in &self.workloads {
@@ -94,6 +110,11 @@ impl BenchDoc {
             w.field_float("eps", wl.eps);
             w.field_uint("minpts", wl.minpts);
             w.field_uint("points", wl.points);
+            if let Some(bits) = wl.modeled_time_bits {
+                // Hex string, not a number: the shared parser stores
+                // numbers as f64, which cannot hold a 64-bit pattern.
+                w.field_str("modeled_time_bits", &format!("{bits:016x}"));
+            }
             w.key("stages");
             w.begin_object();
             for (name, s) in &wl.stages {
@@ -147,9 +168,9 @@ impl BenchDoc {
             return Err(format!("unexpected schema '{schema}' (want '{SCHEMA}')"));
         }
         let version = req_u64(&v, "version")?;
-        if version != SCHEMA_VERSION {
+        if !(1..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema version {version} (supported: {SCHEMA_VERSION})"
+                "unsupported schema version {version} (supported: 1..={SCHEMA_VERSION})"
             ));
         }
         let mut doc = BenchDoc {
@@ -158,6 +179,7 @@ impl BenchDoc {
             trials: req_u64(&v, "trials")?,
             warmup: req_u64(&v, "warmup")?,
             host_threads: req_u64(&v, "host_threads")?,
+            provenance: Provenance::parse_field(&v)?,
             workloads: Vec::new(),
         };
         let workloads = v
@@ -173,6 +195,14 @@ impl BenchDoc {
                 eps: req_f64(wl, "eps")?,
                 minpts: req_u64(wl, "minpts")?,
                 points: req_u64(wl, "points")?,
+                modeled_time_bits: match wl.get("modeled_time_bits") {
+                    None => None,
+                    Some(b) => Some(
+                        b.as_str()
+                            .and_then(|h| u64::from_str_radix(h, 16).ok())
+                            .ok_or("bad hex in 'modeled_time_bits'")?,
+                    ),
+                },
                 ..WorkloadResult::default()
             };
             let stages = wl
@@ -273,6 +303,8 @@ pub fn record_kernel_profile(m: &Metrics, name: &str, profile: &KernelProfile) {
 mod tests {
     use super::*;
 
+    use crate::provenance::HEADER_VERSION;
+
     fn sample_doc() -> BenchDoc {
         let mut wl = WorkloadResult {
             id: "s1/sw1-eps0.2/global".into(),
@@ -282,6 +314,7 @@ mod tests {
             eps: 0.2,
             minpts: 4,
             points: 37292,
+            modeled_time_bits: Some(u64::MAX),
             ..WorkloadResult::default()
         };
         wl.stages.insert(
@@ -316,6 +349,19 @@ mod tests {
             trials: 3,
             warmup: 1,
             host_threads: 4,
+            provenance: Some(Provenance {
+                header_version: HEADER_VERSION,
+                schema: SCHEMA.into(),
+                schema_version: SCHEMA_VERSION,
+                git_sha: "ee9aa08269b9".into(),
+                git_dirty: false,
+                rustc: "rustc 1.95.0".into(),
+                rayon_num_threads: "unset".into(),
+                host: "test".into(),
+                os: "linux/x86_64".into(),
+                timestamp_unix: 1_754_611_200,
+                workloads: vec!["s1/sw1-eps0.2/global".into()],
+            }),
             workloads: vec![wl],
         }
     }
@@ -332,12 +378,39 @@ mod tests {
     #[test]
     fn rejects_wrong_schema_and_version() {
         let text = sample_doc().to_json();
-        let wrong = text.replace(SCHEMA, "something/else");
+        let wrong = text.replacen(SCHEMA, "something/else", 1);
         assert!(BenchDoc::parse(&wrong).unwrap_err().contains("schema"));
-        let wrong = text.replace(r#""version":1"#, r#""version":999"#);
+        let wrong = text.replacen(r#""version":2"#, r#""version":999"#, 1);
         assert!(BenchDoc::parse(&wrong).unwrap_err().contains("version"));
         assert!(BenchDoc::parse("{}").is_err());
         assert!(BenchDoc::parse("not json").is_err());
+    }
+
+    #[test]
+    fn v1_documents_still_parse_without_provenance_or_bits() {
+        // A pre-PR-9 baseline: version 1, no provenance header, no
+        // per-workload modeled_time_bits. `--compare` must keep working.
+        let mut doc = sample_doc();
+        doc.version = 1;
+        doc.provenance = None;
+        doc.workloads[0].modeled_time_bits = None;
+        let text = doc.to_json();
+        assert!(!text.contains("provenance"));
+        assert!(!text.contains("modeled_time_bits"));
+        let parsed = BenchDoc::parse(&text).expect("v1 fallback");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_json(), text, "v1 round-trip stays exact");
+    }
+
+    #[test]
+    fn bits_survive_as_full_64bit_patterns() {
+        let doc = sample_doc();
+        let parsed = BenchDoc::parse(&doc.to_json()).unwrap();
+        assert_eq!(parsed.workloads[0].modeled_time_bits, Some(u64::MAX));
+        assert_eq!(
+            parsed.provenance.as_ref().map(|p| p.git_sha.as_str()),
+            Some("ee9aa08269b9")
+        );
     }
 
     #[test]

@@ -23,10 +23,14 @@
 pub mod analyze;
 pub mod bench;
 pub mod chrome;
+pub mod dashboard;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
+pub mod provenance;
 pub mod report;
 pub mod span;
+pub mod trend;
 
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use span::{SpanGuard, SpanRecord};

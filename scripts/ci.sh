@@ -5,6 +5,7 @@
 #   CLIPPY_STRICT=1 scripts/ci.sh   # make clippy failures fatal too
 #   DIFF_STRICT=1 scripts/ci.sh     # make the long differential sweep fatal
 #   BENCH_STRICT=1 scripts/ci.sh    # make benchmark regressions fatal
+#   TREND_STRICT=1 scripts/ci.sh    # make cross-run trend regressions fatal
 #
 # clippy and the 200-case differential sweep are advisory by default —
 # lint sets shift across toolchains, and the sweep is the long randomized
@@ -51,9 +52,16 @@ step "differential quick (RAYON_NUM_THREADS=4)" \
 # exits nonzero on a deterministic-stage regression only under
 # BENCH_STRICT=1 (wall-clock drift is always advisory — see DESIGN.md,
 # "Benchmark methodology & regression policy").
+#
+# All smoke steps append their run records to a CI-local ledger copy
+# (target/ci-ledger) seeded from the committed results/ledger, so CI runs
+# feed the trend report without dirtying the checked-in run history.
+rm -rf target/ci-ledger
+mkdir -p target/ci-ledger
+cp results/ledger/ledger.jsonl target/ci-ledger/ 2>/dev/null || true
 step "bench smoke" ./target/release/repro bench \
     --scale 0.002 --trials 1 --warmup 0 --csv target/ci-bench \
-    --compare results/baselines/smoke.json
+    --compare results/baselines/smoke.json --ledger target/ci-ledger
 # Profiler smoke tier: the suite workloads under the pool profiler at
 # 1/2/4/8 threads (DESIGN.md §12). The binary itself is the gate: it
 # exits nonzero if profiling moves modeled time bits at any thread count
@@ -61,7 +69,7 @@ step "bench smoke" ./target/release/repro bench \
 # point of the shared JSON parser.
 step "profile smoke (RAYON_NUM_THREADS=4)" \
     env RAYON_NUM_THREADS=4 ./target/release/repro profile \
-    --scale 0.002 --trials 1 --csv target/ci-profile
+    --scale 0.002 --trials 1 --csv target/ci-profile --ledger target/ci-ledger
 # Thread-scaling smoke tier: the {1,2,4,all} pool sweep on a tiny S1
 # workload. The binary is the gate: a determinism violation (modeled
 # bits, clusters, or |R| differing across thread counts) always exits
@@ -70,12 +78,23 @@ step "profile smoke (RAYON_NUM_THREADS=4)" \
 # runners with fewer than 4 hardware threads.
 step "threads smoke (RAYON_NUM_THREADS=8)" \
     env RAYON_NUM_THREADS=8 ./target/release/repro threads \
-    --scale 0.002 --trials 1 --csv target/ci-threads
+    --scale 0.002 --trials 1 --csv target/ci-threads --ledger target/ci-ledger
 
 # Shard smoke tier (ISSUE 8): sharded vs unsharded table and clustering
 # fingerprints at k=2 (both modes) and k=4 out-of-core. The binary exits
 # nonzero on any mismatch — always fatal, like the bench smoke.
-step "shard smoke" ./target/release/repro shard --scale 0.002
+step "shard smoke" ./target/release/repro shard --scale 0.002 \
+    --csv target/ci-shard --ledger target/ci-ledger
+
+# Report smoke tier (ISSUE 9): render the trend dashboard over the
+# CI-local ledger (committed history + the smoke runs above). The binary
+# is the gate: it exits nonzero if the ledger is unreadable or the
+# dashboard's embedded JSON payload fails round-trip validation; trend
+# regressions (modeled-time steps or bit flips outside a declared
+# baseline refresh) are decided inside the binary and are advisory
+# unless TREND_STRICT=1.
+step "report smoke" ./target/release/repro report \
+    --ledger target/ci-ledger --csv target/ci-report
 # The sharded differential tier, named and strict: every generator family
 # plus the halo-straddling adversarial generator, k in {1,2,4}, 1/2/8
 # threads, both execution modes, bitwise fingerprints and modeled-time

@@ -6,6 +6,7 @@
 //! comparisons (EXPERIMENTS.md) can be regenerated with one command.
 
 pub mod ablations;
+pub mod backend_ablation;
 pub mod common;
 pub mod figure2;
 pub mod figure3;

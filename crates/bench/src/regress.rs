@@ -210,6 +210,9 @@ pub fn run_suite(opts: &Options) -> BenchDoc {
     // baseline, 2-shard concurrent speedup, 4-shard out-of-core under a
     // device limit the unsharded build exceeds.
     workloads.extend(crate::shard::run_shard_workloads(opts));
+    // Backend-ablation rows (ISSUE 10): every ablation workload under
+    // grid, tree, and auto ε-search, fingerprint-checked cross-backend.
+    workloads.extend(crate::backend_ablation::run_backend_workloads(opts));
     let workload_ids = workloads.iter().map(|w| w.id.clone()).collect();
     BenchDoc {
         version: SCHEMA_VERSION,
@@ -425,7 +428,11 @@ fn print_doc(doc: &BenchDoc) {
         "GB/s",
         "atomics",
     ]);
-    for wl in doc.workloads.iter().filter(|wl| wl.scenario != "micro") {
+    for wl in doc
+        .workloads
+        .iter()
+        .filter(|wl| wl.scenario != "micro" && wl.scenario != "backend")
+    {
         let stage = |name: &str| wl.stages.get(name).cloned().unwrap_or_default();
         let counters = wl.counters.get("kernels").copied().unwrap_or_default();
         t.row(vec![
@@ -442,6 +449,41 @@ fn print_doc(doc: &BenchDoc) {
         ]);
     }
     t.print();
+
+    let backend: Vec<_> = doc
+        .workloads
+        .iter()
+        .filter(|wl| wl.scenario == "backend")
+        .collect();
+    if !backend.is_empty() {
+        println!("\n-- Backend ablation (modeled device time; identical tables checked) --");
+        let mut t = TextTable::new(&["Workload", "points", "ran", "modeled", "cv", "occ"]);
+        for wl in backend {
+            t.row(vec![
+                wl.id.clone(),
+                wl.points.to_string(),
+                wl.kernel.clone(),
+                fmt_ms(
+                    wl.stages
+                        .get("modeled")
+                        .map(|s| s.median_ms)
+                        .unwrap_or_default(),
+                ),
+                format!(
+                    "{:.2}",
+                    wl.metrics.get("cell_cv").copied().unwrap_or_default()
+                ),
+                format!(
+                    "{:.1}",
+                    wl.metrics
+                        .get("mean_occupancy")
+                        .copied()
+                        .unwrap_or_default()
+                ),
+            ]);
+        }
+        t.print();
+    }
 
     let micro: Vec<_> = doc
         .workloads
@@ -772,9 +814,13 @@ mod tests {
             ..Options::default()
         };
         let doc = run_suite(&opts);
-        // The suite workloads plus the hot-path micro workload and the
-        // three shard-scaling rows.
-        assert_eq!(doc.workloads.len(), SUITE.len() + 1 + 3);
+        // The suite workloads plus the hot-path micro workload, the three
+        // shard-scaling rows, and the backend ablation (3 backends per
+        // ablation workload).
+        assert_eq!(
+            doc.workloads.len(),
+            SUITE.len() + 1 + 3 + 3 * crate::backend_ablation::ABLATION.len()
+        );
         let text = doc.to_json();
         let parsed = BenchDoc::parse(&text).expect("suite output must parse");
         assert_eq!(parsed.to_json(), text, "round-trip must be exact");
@@ -785,7 +831,7 @@ mod tests {
                 }
                 continue;
             }
-            if wl.scenario == "shard" {
+            if wl.scenario == "shard" || wl.scenario == "backend" {
                 for stage in ["build_table", "modeled"] {
                     assert!(wl.stages.contains_key(stage), "{}: {stage}", wl.id);
                 }

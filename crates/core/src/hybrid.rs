@@ -30,9 +30,12 @@
 //! determinism policy"). Only the host DBSCAN stage and the explicitly
 //! named `wall_time` fields are wall-clock measurements.
 
+use crate::backend::{select_backend, BackendDecision, ChosenBackend, IndexBackend};
 use crate::batch::{BatchConfig, BatchPlan};
 use crate::dbscan::{Clustering, Dbscan, TableSource};
-use crate::kernels::{GpuCalcGlobal, GpuCalcShared, NeighborCountKernel, NeighborPair};
+use crate::kernels::{
+    GpuCalcGlobal, GpuCalcShared, GpuCalcTree, NeighborCountKernel, NeighborPair, TreeCountKernel,
+};
 use crate::table::{NeighborTable, NeighborTableBuilder};
 use gpu_sim::device::Device;
 use gpu_sim::error::DeviceError;
@@ -48,7 +51,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spatial::grid::{CellRange, CellsView};
 use spatial::presort::spatial_sort_permutation;
-use spatial::{GridIndex, Point2, PointStore};
+use spatial::{GridIndex, PackedKdTree, Point2, PointStore, PointsViewN, TreeView};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -66,6 +69,11 @@ pub enum KernelChoice {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HybridConfig {
     pub kernel: KernelChoice,
+    /// Which ε-search index to build and traverse (grid, tree, or
+    /// per-workload auto-selection). The shared kernel always uses the
+    /// grid regardless of this setting. Defaults to `Grid` — the paper's
+    /// structure, and bit-for-bit the pre-backend pipeline.
+    pub backend: IndexBackend,
     /// Threads per block (paper: 256).
     pub block_dim: u32,
     /// Batching-scheme tunables.
@@ -82,6 +90,7 @@ impl Default for HybridConfig {
     fn default() -> Self {
         HybridConfig {
             kernel: KernelChoice::Global,
+            backend: IndexBackend::Grid,
             block_dim: 256,
             batch: BatchConfig::default(),
             host_lanes: 3,
@@ -103,7 +112,7 @@ const INGEST_OVERHEAD_US: f64 = 5.0;
 /// forbids wall-measured durations in the scheduled op chains, since the
 /// schedule's makespan feeds [`GpuPhaseReport::modeled_time`], which must
 /// be bitwise identical across runs and thread counts.
-fn ingest_time_model(n: usize) -> SimDuration {
+pub(crate) fn ingest_time_model(n: usize) -> SimDuration {
     SimDuration::from_micros(INGEST_OVERHEAD_US)
         + SimDuration::from_secs(n as f64 / INGEST_PAIRS_PER_SEC)
 }
@@ -134,6 +143,8 @@ pub struct GpuPhaseReport {
     pub kernel_profile: KernelProfile,
     /// Estimation-kernel sample count `e_b`.
     pub e_b: u64,
+    /// Which ε-search backend ran, and why (the `Auto` policy's inputs).
+    pub backend: BackendDecision,
     /// Overflow retries performed.
     pub retries: usize,
     /// Batches run by overflowed (discarded) passes across all retries.
@@ -313,6 +324,113 @@ impl GridBuffers {
     }
 }
 
+/// Device-resident packed kd-tree: the four SoA node-pool buffers
+/// (splits, axes, leaf ranges, reordered ids — the tree's `A`).
+pub(crate) struct TreeBuffers {
+    splits: DeviceBuffer<f64>,
+    axes: DeviceBuffer<u32>,
+    ranges: DeviceBuffer<CellRange>,
+    ids: DeviceBuffer<u32>,
+}
+
+impl TreeBuffers {
+    /// Upload the node pool, returning the summed H2D transfer time.
+    pub(crate) fn upload(
+        device: &Device,
+        tree: &PackedKdTree<2>,
+    ) -> Result<(Self, SimDuration), DeviceError> {
+        let v = tree.view();
+        let (splits, t0) = DeviceBuffer::from_host(device, v.splits, false)?;
+        let (axes, t1) = DeviceBuffer::from_host(device, v.axes, false)?;
+        let (ranges, t2) = DeviceBuffer::from_host(device, v.ranges, false)?;
+        let (ids, t3) = DeviceBuffer::from_host(device, v.ids, false)?;
+        Ok((
+            TreeBuffers {
+                splits,
+                axes,
+                ranges,
+                ids,
+            },
+            t0 + t1 + t2 + t3,
+        ))
+    }
+
+    pub(crate) fn view(&self) -> TreeView<'_> {
+        TreeView {
+            splits: self.splits.as_slice(),
+            axes: self.axes.as_slice(),
+            ranges: self.ranges.as_slice(),
+            ids: self.ids.as_slice(),
+        }
+    }
+}
+
+/// The host-side ε-search index plus its device-resident buffers — one
+/// variant per backend. Built once per `build_table` call; the batch
+/// loop dispatches kernels on the borrowed [`SearchView`].
+enum SearchIndex {
+    Grid {
+        grid: GridIndex,
+        g_buf: GridBuffers,
+        a_buf: DeviceBuffer<u32>,
+    },
+    Tree {
+        #[allow(dead_code)] // owns the host copy backing the buffers
+        tree: PackedKdTree<2>,
+        bufs: TreeBuffers,
+    },
+}
+
+/// Borrowed, `Copy` kernel-facing view of the active search structure.
+#[derive(Clone, Copy)]
+enum SearchView<'a> {
+    Grid {
+        cells: CellsView<'a>,
+        lookup: &'a [u32],
+        geom: spatial::GridGeometry,
+    },
+    Tree {
+        tree: TreeView<'a>,
+    },
+}
+
+impl SearchIndex {
+    fn view(&self) -> SearchView<'_> {
+        match self {
+            SearchIndex::Grid { grid, g_buf, a_buf } => SearchView::Grid {
+                cells: g_buf.view(),
+                lookup: a_buf.as_slice(),
+                geom: grid.geometry(),
+            },
+            SearchIndex::Tree { bufs, .. } => SearchView::Tree { tree: bufs.view() },
+        }
+    }
+}
+
+/// The host-side index before its device upload — split from
+/// [`SearchIndex`] so `ConstructIndex` stays inside the `index_build`
+/// span while the H2D transfers land in `h2d_upload`.
+enum HostIndex {
+    Grid(GridIndex),
+    Tree(PackedKdTree<2>),
+}
+
+impl HostIndex {
+    fn upload(self, device: &Device) -> Result<(SearchIndex, SimDuration), DeviceError> {
+        match self {
+            HostIndex::Grid(grid) => {
+                let (g_buf, up_g) = GridBuffers::upload(device, &grid)?;
+                let (a_buf, up_a) = DeviceBuffer::from_host(device, grid.lookup(), false)?;
+                Ok((SearchIndex::Grid { grid, g_buf, a_buf }, up_g + up_a))
+            }
+            HostIndex::Tree(tree) => {
+                let (bufs, up_t) = TreeBuffers::upload(device, &tree)?;
+                Ok((SearchIndex::Tree { tree, bufs }, up_t))
+            }
+        }
+    }
+}
+
 /// The Hybrid-DBSCAN engine (Algorithm 4).
 pub struct HybridDbscan {
     device: Device,
@@ -433,42 +551,81 @@ impl HybridDbscan {
         let perm = spatial_sort_permutation(data);
         let sorted: Vec<Point2> = perm.apply(data);
 
+        // ε-search backend selection (grid vs packed kd-tree). Both
+        // backends enumerate the exact closed ε-ball, so the pair set —
+        // and therefore the table — is bitwise identical either way; the
+        // choice only moves modeled cost. `Auto` decides from sampled
+        // cell-occupancy statistics; the shared kernel is cell-driven and
+        // always forces the grid.
+        let decision = select_backend(
+            cfg.backend,
+            matches!(cfg.kernel, KernelChoice::Shared),
+            &sorted,
+            eps,
+        );
+
         // ConstructIndex(D, eps) on the host, plus the SoA coordinate
         // mirror the kernels' inner loops scan (host-side layout only —
         // the device upload below stays the one Point2 array).
-        let grid = GridIndex::build(&sorted, eps);
         let store = PointStore::from_points(&sorted);
-        let geom = grid.geometry();
+        let host_index = match decision.chosen {
+            ChosenBackend::Grid => HostIndex::Grid(GridIndex::build(&sorted, eps)),
+            ChosenBackend::Tree => {
+                HostIndex::Tree(PackedKdTree::build(PointsViewN::from(store.view())))
+            }
+        };
         drop(index_span);
 
-        // H2D uploads of D, G, A (pageable: one-off inputs). D stays one
-        // Point2 transfer — the SoA mirror is host-side layout only — and
-        // the buffer is held for device-memory accounting.
+        // H2D uploads of D plus the search index — (G, A) for the grid,
+        // the four SoA node-pool arrays for the tree (pageable: one-off
+        // inputs). D stays one Point2 transfer — the SoA mirror is
+        // host-side layout only — and the buffer is held for
+        // device-memory accounting.
         let upload_span = rec.map(|r| r.span("h2d_upload", "host"));
         let (_d_buf, up_d) = DeviceBuffer::from_host(&self.device, &sorted, false)?;
-        let (g_buf, up_g) = GridBuffers::upload(&self.device, &grid)?;
-        let (a_buf, up_a) = DeviceBuffer::from_host(&self.device, grid.lookup(), false)?;
+        let (index, up_index) = host_index.upload(&self.device)?;
         drop(upload_span);
+        let search = index.view();
 
-        // Result-size estimation kernel over the f-sample.
+        // Result-size estimation kernel over the f-sample. Both count
+        // kernels are exact at a given stride, so `e_b` — and with it the
+        // batch plan — is identical across backends.
         let est_span = rec.map(|r| r.span("estimation_kernel", "host"));
         let counter = DeviceCounter::new(&self.device)?;
         // The stride and the estimate scaling must come from the same
         // place (BatchConfig), or the realized sample fraction and the
         // assumed one drift apart and bias a_b.
         let stride = cfg.batch.stride_for(sorted.len());
-        let count_kernel = NeighborCountKernel {
-            points: store.view(),
-            grid: g_buf.view(),
-            lookup: a_buf.as_slice(),
-            geom,
-            eps,
-            stride,
-            counter: &counter,
+        let est_report = match search {
+            SearchView::Grid {
+                cells,
+                lookup,
+                geom,
+            } => {
+                let count_kernel = NeighborCountKernel {
+                    points: store.view(),
+                    grid: cells,
+                    lookup,
+                    geom,
+                    eps,
+                    stride,
+                    counter: &counter,
+                };
+                self.device
+                    .launch(count_kernel.launch_config(cfg.block_dim), &count_kernel)?
+            }
+            SearchView::Tree { tree } => {
+                let count_kernel = TreeCountKernel {
+                    points: PointsViewN::from(store.view()),
+                    tree,
+                    eps,
+                    stride,
+                    counter: &counter,
+                };
+                self.device
+                    .launch(count_kernel.launch_config(cfg.block_dim), &count_kernel)?
+            }
         };
-        let est_report = self
-            .device
-            .launch(count_kernel.launch_config(cfg.block_dim), &count_kernel)?;
         let e_b = counter.get();
         drop(counter);
         if let Some(mut s) = est_span {
@@ -498,7 +655,10 @@ impl HybridDbscan {
         let shared_batches: Option<Vec<Vec<u32>>> = match cfg.kernel {
             KernelChoice::Global => None,
             KernelChoice::Shared => {
-                let (batches, required) = pack_shared_cells(&grid, plan.buffer_items);
+                let SearchIndex::Grid { grid, .. } = &index else {
+                    unreachable!("shared kernel always runs on the grid backend")
+                };
+                let (batches, required) = pack_shared_cells(grid, plan.buffer_items);
                 if required > plan.buffer_items {
                     let budget = self
                         .device
@@ -541,9 +701,7 @@ impl HybridDbscan {
         let (builder, chains, profile, per_batch_pairs) = loop {
             match self.run_batches(
                 &store,
-                &grid,
-                &g_buf,
-                &a_buf,
+                search,
                 eps,
                 &attempt_plan,
                 shared_batches.as_deref(),
@@ -622,7 +780,7 @@ impl HybridDbscan {
                 .sum()
         };
         let breakdown = GpuPhaseBreakdown {
-            upload_time: up_d + up_g + up_a,
+            upload_time: up_d + up_index,
             estimation_time: est_report.duration,
             pinned_alloc_time,
             batch_schedule_time: schedule.makespan,
@@ -632,7 +790,7 @@ impl HybridDbscan {
             ingest_time: sum_label("ingest"),
         };
         let modeled_time =
-            up_d + up_g + up_a + est_report.duration + pinned_alloc_time + schedule.makespan;
+            up_d + up_index + est_report.duration + pinned_alloc_time + schedule.makespan;
 
         let table = builder.finalize();
         let mut kernel_profile = profile;
@@ -645,6 +803,7 @@ impl HybridDbscan {
                 &kernel_profile,
                 &attempt_plan,
                 &per_batch_pairs,
+                &decision,
                 e_b,
                 retries,
                 discarded_batches,
@@ -662,6 +821,7 @@ impl HybridDbscan {
             per_batch_pairs,
             kernel_profile,
             e_b,
+            backend: decision,
             retries,
             discarded_batches,
             discarded_pairs,
@@ -669,6 +829,7 @@ impl HybridDbscan {
             schedule,
         };
         if let Some(s) = table_span.as_mut() {
+            s.arg("backend", decision.chosen.name());
             s.arg("modeled_ms", format!("{:.3}", modeled_time.as_millis()));
             s.set_sim(SimTime::ZERO, modeled_time);
         }
@@ -701,6 +862,7 @@ impl HybridDbscan {
         batch_profile: &KernelProfile,
         plan: &BatchPlan,
         per_batch_pairs: &[usize],
+        decision: &BackendDecision,
         e_b: u64,
         retries: usize,
         discarded_batches: usize,
@@ -766,11 +928,24 @@ impl HybridDbscan {
             );
         }
 
+        // Backend-selection telemetry: what ran and what the sampled
+        // statistics said (zeros when the decision didn't need stats).
+        m.counter_add(
+            match decision.chosen {
+                ChosenBackend::Grid => "backend.grid_runs",
+                ChosenBackend::Tree => "backend.tree_runs",
+            },
+            1,
+        );
+        m.gauge_set("backend.cell_cv", decision.cell_cv);
+        m.gauge_set("backend.mean_occupancy", decision.mean_occupancy);
+
         // Per-kernel profile metrics (the estimation launch is kept
         // separate from the batch kernels so their occupancies don't mix).
-        let kernel_name = match self.config.kernel {
-            KernelChoice::Global => "gpucalc_global",
-            KernelChoice::Shared => "gpucalc_shared",
+        let kernel_name = match (decision.chosen, self.config.kernel) {
+            (ChosenBackend::Tree, _) => "gpucalc_tree",
+            (ChosenBackend::Grid, KernelChoice::Global) => "gpucalc_global",
+            (ChosenBackend::Grid, KernelChoice::Shared) => "gpucalc_shared",
         };
         obs::bench::record_kernel_profile(m, kernel_name, batch_profile);
         m.counter_add("kernel.estimation.launches", 1);
@@ -826,9 +1001,7 @@ impl HybridDbscan {
     fn run_batches(
         &self,
         store: &PointStore,
-        grid: &GridIndex,
-        g_buf: &GridBuffers,
-        a_buf: &DeviceBuffer<u32>,
+        search: SearchView<'_>,
         eps: f64,
         plan: &BatchPlan,
         shared_batches: Option<&[Vec<u32>]>,
@@ -869,13 +1042,34 @@ impl HybridDbscan {
 
                 // Kernel launch (functional execution + modeled duration);
                 // the device's compute engine admits one kernel at a time.
-                let launched = match cfg.kernel {
-                    KernelChoice::Global => {
+                let launched = match (search, cfg.kernel) {
+                    (SearchView::Tree { tree }, _) => {
+                        let kernel = GpuCalcTree {
+                            points: PointsViewN::from(store.view()),
+                            tree,
+                            eps,
+                            batch: l,
+                            n_batches: n_b,
+                            result: buf,
+                        };
+                        Some(
+                            self.device
+                                .launch(kernel.launch_config(cfg.block_dim), &kernel),
+                        )
+                    }
+                    (
+                        SearchView::Grid {
+                            cells,
+                            lookup,
+                            geom,
+                        },
+                        KernelChoice::Global,
+                    ) => {
                         let kernel = GpuCalcGlobal {
                             points: store.view(),
-                            grid: g_buf.view(),
-                            lookup: a_buf.as_slice(),
-                            geom: grid.geometry(),
+                            grid: cells,
+                            lookup,
+                            geom,
                             eps,
                             batch: l,
                             n_batches: n_b,
@@ -887,7 +1081,14 @@ impl HybridDbscan {
                                 .launch(kernel.launch_config(cfg.block_dim), &kernel),
                         )
                     }
-                    KernelChoice::Shared => {
+                    (
+                        SearchView::Grid {
+                            cells,
+                            lookup,
+                            geom,
+                        },
+                        KernelChoice::Shared,
+                    ) => {
                         let batch_cells: &[u32] =
                             &shared_batches.expect("shared kernel requires a cell packing")[l];
                         if batch_cells.is_empty() {
@@ -895,9 +1096,9 @@ impl HybridDbscan {
                         } else {
                             let kernel = GpuCalcShared {
                                 points: store.view(),
-                                grid: g_buf.view(),
-                                lookup: a_buf.as_slice(),
-                                geom: grid.geometry(),
+                                grid: cells,
+                                lookup,
+                                geom,
                                 eps,
                                 schedule: batch_cells,
                                 result: buf,
@@ -1586,5 +1787,106 @@ mod tests {
             assert_eq!(labels[40 + i], labels[40]);
         }
         assert_ne!(labels[0], labels[40]);
+    }
+
+    #[test]
+    fn tree_backend_matches_grid_bitwise() {
+        let data = mixed_points(600);
+        let device = Device::k20c();
+        let grid = HybridDbscan::new(&device, HybridConfig::default());
+        let tree = HybridDbscan::new(
+            &device,
+            HybridConfig {
+                backend: IndexBackend::Tree,
+                ..HybridConfig::default()
+            },
+        );
+        let hg = grid.build_table(&data, 0.6).unwrap();
+        let ht = tree.build_table(&data, 0.6).unwrap();
+        assert_eq!(hg.gpu.backend.chosen, ChosenBackend::Grid);
+        assert_eq!(ht.gpu.backend.chosen, ChosenBackend::Tree);
+        // Exact count kernels on both sides → identical e_b → identical
+        // batch plan → (after the canonical device sort) identical tables.
+        assert_eq!(hg.gpu.e_b, ht.gpu.e_b);
+        assert_eq!(hg.gpu.n_batches, ht.gpu.n_batches);
+        assert_eq!(hg.gpu.per_batch_pairs, ht.gpu.per_batch_pairs);
+        assert_eq!(
+            crate::shard::table_fingerprint(&hg.table),
+            crate::shard::table_fingerprint(&ht.table)
+        );
+        let (cg, _) = HybridDbscan::cluster_with_table(&hg, 4);
+        let (ct, _) = HybridDbscan::cluster_with_table(&ht, 4);
+        assert_eq!(
+            crate::shard::clustering_fingerprint(&cg),
+            crate::shard::clustering_fingerprint(&ct)
+        );
+    }
+
+    #[test]
+    fn tree_backend_multi_batch_matches_grid() {
+        let data = mixed_points(800);
+        let device = Device::k20c();
+        let mk = |backend| {
+            HybridConfig {
+                backend,
+                batch: tiny_batch_config(2000), // forces several batches
+                ..HybridConfig::default()
+            }
+        };
+        let hg = HybridDbscan::new(&device, mk(IndexBackend::Grid))
+            .build_table(&data, 0.6)
+            .unwrap();
+        let ht = HybridDbscan::new(&device, mk(IndexBackend::Tree))
+            .build_table(&data, 0.6)
+            .unwrap();
+        assert!(ht.gpu.n_batches > 1, "test must exercise batching");
+        assert_eq!(hg.gpu.per_batch_pairs, ht.gpu.per_batch_pairs);
+        assert_eq!(
+            crate::shard::table_fingerprint(&hg.table),
+            crate::shard::table_fingerprint(&ht.table)
+        );
+    }
+
+    #[test]
+    fn auto_backend_resolves_and_matches_grid() {
+        let data = mixed_points(600);
+        let device = Device::k20c();
+        let auto = HybridDbscan::new(
+            &device,
+            HybridConfig {
+                backend: IndexBackend::Auto,
+                ..HybridConfig::default()
+            },
+        );
+        let ha = auto.build_table(&data, 0.6).unwrap();
+        assert_eq!(ha.gpu.backend.requested, IndexBackend::Auto);
+        assert_eq!(ha.gpu.backend.reason, "auto");
+        let hg = HybridDbscan::new(&device, HybridConfig::default())
+            .build_table(&data, 0.6)
+            .unwrap();
+        assert_eq!(
+            crate::shard::table_fingerprint(&hg.table),
+            crate::shard::table_fingerprint(&ha.table)
+        );
+    }
+
+    #[test]
+    fn shared_kernel_overrides_tree_request() {
+        let data = mixed_points(400);
+        let device = Device::k20c();
+        let hybrid = HybridDbscan::new(
+            &device,
+            HybridConfig {
+                kernel: KernelChoice::Shared,
+                backend: IndexBackend::Tree,
+                ..HybridConfig::default()
+            },
+        );
+        let r = hybrid.run(&data, 0.7, 4).unwrap();
+        assert_eq!(r.gpu.backend.chosen, ChosenBackend::Grid);
+        assert_eq!(r.gpu.backend.reason, "shared-kernel");
+        let grid = GridIndex::build(&data, 0.7);
+        let direct = Dbscan::new(4).run(&GridSource::new(&grid, &data));
+        assert!(r.clustering.equivalent_to(&direct));
     }
 }

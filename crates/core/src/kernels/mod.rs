@@ -19,11 +19,15 @@
 
 mod count;
 mod global;
+mod gridnd;
 mod shared;
+mod tree;
 
 pub use count::NeighborCountKernel;
 pub use global::GpuCalcGlobal;
+pub use gridnd::{GpuCalcGridNd, GridNdCountKernel};
 pub use shared::GpuCalcShared;
+pub use tree::{GpuCalcTree, TreeCountKernel};
 
 use gpu_sim::kernel::{ChargeBatch, ThreadCtx};
 use spatial::grid::{CellRange, CellsView};

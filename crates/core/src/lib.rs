@@ -46,7 +46,13 @@
 //! * [`shard`] — the sharded pipeline: ε-halo slab partitioning, one
 //!   simulated device per shard (or sequential out-of-core tiling through
 //!   one device), and the exact cross-shard table merge (DESIGN.md §14).
+//! * [`backend`] — ε-search backend selection: grid vs packed kd-tree
+//!   ([`kernels::GpuCalcTree`]), explicit or `Auto` from deterministic
+//!   sampled cell statistics, recorded in provenance (DESIGN.md §16).
+//! * [`nd`] — the hybrid table build and DBSCAN over d ∈ {2, 3, 4}
+//!   data (`PointN<D>`), with either backend (DESIGN.md §16).
 
+pub mod backend;
 pub mod batch;
 pub mod cuda_dclust;
 pub mod dbscan;
@@ -54,6 +60,7 @@ pub mod disjoint_set;
 pub mod gdbscan;
 pub mod hybrid;
 pub mod kernels;
+pub mod nd;
 pub mod optics;
 pub mod oracle;
 pub mod pipeline;
@@ -63,6 +70,7 @@ pub mod scenario;
 pub mod shard;
 pub mod table;
 
+pub use backend::{BackendDecision, ChosenBackend, IndexBackend};
 pub use dbscan::{Clustering, Dbscan, PointLabel};
 pub use hybrid::{HybridConfig, HybridDbscan, HybridResult};
 pub use shard::{clustering_fingerprint, table_fingerprint, ShardConfig, ShardMode, ShardedHybrid};

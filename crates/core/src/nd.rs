@@ -1,0 +1,402 @@
+//! Dimension-generic neighbor-table construction (d > 2).
+//!
+//! The same shape as [`crate::hybrid::HybridDbscan::build_table`] —
+//! spatial pre-sort, backend selection, H2D uploads, exact result-size
+//! estimation, Equation 1 batch plan, per-batch kernel → canonical sort →
+//! D2H → ingest — generalized over the const dimension `D` with the
+//! [`crate::kernels::GpuCalcGridNd`] / [`crate::kernels::GpuCalcTree`]
+//! kernel pair. The 2-D pipeline keeps its own path (it carries the
+//! shared-memory kernel, stream pipelining, and the full provenance
+//! surface); this one is the measurement and differential harness for
+//! d ∈ {3, 4}, where the backend contest actually changes winners.
+//!
+//! Batches run serially here, so the modeled GPU-phase time is the
+//! *serial* sum of the chain (no 3-stream overlap). Both backends are
+//! measured under the same model, which is what the backend ablation
+//! compares. Determinism: everything is a pure function of the input —
+//! the pre-sort is a total order, kernels and the device sort are exact,
+//! and no wall-clock measurement enters `modeled_time`.
+
+use crate::backend::{select_backend_nd, BackendDecision, ChosenBackend, IndexBackend};
+use crate::batch::BatchConfig;
+use crate::dbscan::{Clustering, Dbscan, TableSource};
+use crate::hybrid::{ingest_time_model, HybridError};
+use crate::kernels::{
+    GpuCalcGridNd, GpuCalcTree, GridNdCountKernel, NeighborPair, TreeCountKernel,
+};
+use crate::table::{NeighborTable, NeighborTableBuilder};
+use gpu_sim::device::Device;
+use gpu_sim::error::DeviceError;
+use gpu_sim::hostmem::PinnedBuffer;
+use gpu_sim::memory::{DeviceAppendBuffer, DeviceBuffer, DeviceCounter};
+use gpu_sim::thrust;
+use gpu_sim::time::SimDuration;
+use spatial::grid::CellRange;
+use spatial::nd::{apply_permutation_nd, spatial_sort_permutation_nd};
+use spatial::{CellsViewN, GridGeometryN, GridIndexN, PackedKdTree, PointN, PointStoreN};
+
+/// The finished `D`-dimensional table plus the facts the bench and
+/// differential layers consume.
+pub struct NdTableHandle {
+    pub table: NeighborTable,
+    /// `perm[k]` = original id at sorted position `k`; table ids are in
+    /// sorted order.
+    pub perm: Vec<u32>,
+    pub backend: BackendDecision,
+    pub e_b: u64,
+    pub n_batches: usize,
+    pub result_pairs: usize,
+    /// Serial modeled GPU-phase time: uploads + estimation + Σ per batch
+    /// (kernel + sort + D2H + ingest).
+    pub modeled_time: SimDuration,
+}
+
+/// Device-resident sparse ND grid `(keys, ranges, A)`.
+struct NdGridBuffers {
+    keys: DeviceBuffer<u64>,
+    ranges: DeviceBuffer<CellRange>,
+    lookup: DeviceBuffer<u32>,
+}
+
+impl NdGridBuffers {
+    fn cells(&self) -> CellsViewN<'_> {
+        CellsViewN {
+            keys: self.keys.as_slice(),
+            ranges: self.ranges.as_slice(),
+        }
+    }
+}
+
+/// Device-resident packed kd node pool (the ND twin of the 2-D
+/// `TreeBuffers` in `hybrid`).
+struct NdTreeBuffers {
+    splits: DeviceBuffer<f64>,
+    axes: DeviceBuffer<u32>,
+    ranges: DeviceBuffer<CellRange>,
+    ids: DeviceBuffer<u32>,
+}
+
+impl NdTreeBuffers {
+    fn view(&self) -> spatial::TreeView<'_> {
+        spatial::TreeView {
+            splits: self.splits.as_slice(),
+            axes: self.axes.as_slice(),
+            ranges: self.ranges.as_slice(),
+            ids: self.ids.as_slice(),
+        }
+    }
+}
+
+/// The uploaded search structure the batch loop dispatches on.
+enum NdSearch<const D: usize> {
+    Grid {
+        geom: GridGeometryN<D>,
+        bufs: NdGridBuffers,
+    },
+    Tree {
+        bufs: NdTreeBuffers,
+    },
+}
+
+/// Build the ε-neighbor table for `D`-dimensional `data` on the simulated
+/// device, with the configured index backend. Identical tables for every
+/// backend: both kernels enumerate the exact closed ε-ball with the same
+/// rounding order, the count kernels make `e_b` (hence the plan) equal,
+/// and the canonical device sort erases append-order differences.
+pub fn build_table_nd<const D: usize>(
+    device: &Device,
+    data: &[PointN<D>],
+    eps: f64,
+    requested: IndexBackend,
+    batch_cfg: &BatchConfig,
+    block_dim: u32,
+) -> Result<NdTableHandle, HybridError> {
+    assert!(!data.is_empty(), "cannot cluster an empty database");
+    assert!(
+        eps > 0.0 && eps.is_finite(),
+        "eps must be positive and finite"
+    );
+    let perm = spatial_sort_permutation_nd(data);
+    let sorted = apply_permutation_nd(&perm, data);
+    let n = sorted.len();
+
+    let decision = select_backend_nd(requested, &sorted, eps);
+    let store = PointStoreN::from_points(&sorted);
+
+    // H2D uploads: D plus the chosen index's arrays.
+    let (_d_buf, up_d) = DeviceBuffer::from_host(device, &sorted, false)?;
+    let (search, up_index) = match decision.chosen {
+        ChosenBackend::Grid => {
+            let grid = GridIndexN::<D>::build(&sorted, eps);
+            let cells = grid.cells();
+            let (keys, t0) = DeviceBuffer::from_host(device, cells.keys, false)?;
+            let (ranges, t1) = DeviceBuffer::from_host(device, cells.ranges, false)?;
+            let (lookup, t2) = DeviceBuffer::from_host(device, grid.lookup(), false)?;
+            (
+                NdSearch::Grid {
+                    geom: *grid.geometry(),
+                    bufs: NdGridBuffers {
+                        keys,
+                        ranges,
+                        lookup,
+                    },
+                },
+                t0 + t1 + t2,
+            )
+        }
+        ChosenBackend::Tree => {
+            let tree = PackedKdTree::<D>::build(store.view());
+            let v = tree.view();
+            let (splits, t0) = DeviceBuffer::from_host(device, v.splits, false)?;
+            let (axes, t1) = DeviceBuffer::from_host(device, v.axes, false)?;
+            let (ranges, t2) = DeviceBuffer::from_host(device, v.ranges, false)?;
+            let (ids, t3) = DeviceBuffer::from_host(device, v.ids, false)?;
+            (
+                NdSearch::Tree {
+                    bufs: NdTreeBuffers {
+                        splits,
+                        axes,
+                        ranges,
+                        ids,
+                    },
+                },
+                t0 + t1 + t2 + t3,
+            )
+        }
+    };
+
+    // Exact-at-stride result-size estimation; e_b is backend-independent.
+    let counter = DeviceCounter::new(device)?;
+    let stride = batch_cfg.stride_for(n);
+    let est_report = match &search {
+        NdSearch::Grid { geom, bufs } => {
+            let kernel = GridNdCountKernel {
+                points: store.view(),
+                cells: bufs.cells(),
+                lookup: bufs.lookup.as_slice(),
+                geom: *geom,
+                eps,
+                stride,
+                counter: &counter,
+            };
+            device.launch(kernel.launch_config(block_dim), &kernel)?
+        }
+        NdSearch::Tree { bufs } => {
+            let kernel = TreeCountKernel {
+                points: store.view(),
+                tree: bufs.view(),
+                eps,
+                stride,
+                counter: &counter,
+            };
+            device.launch(kernel.launch_config(block_dim), &kernel)?
+        }
+    };
+    let e_b = counter.get();
+    drop(counter);
+
+    // Batch plan, fitted to device memory with the same headroom rule as
+    // the 2-D pipeline.
+    let mut plan = batch_cfg.plan(e_b, n);
+    let headroom = device.available_bytes() / 10;
+    plan = plan
+        .fit_to_memory(
+            device.available_bytes().saturating_sub(headroom),
+            std::mem::size_of::<NeighborPair>(),
+            1,
+        )
+        .ok_or(DeviceError::OutOfMemory {
+            requested_bytes: std::mem::size_of::<NeighborPair>(),
+            available_bytes: device.available_bytes(),
+        })?;
+
+    // Serial batch loop with overflow recovery: double n_b (or grow the
+    // buffer once a batch is a single point) and rerun the pass.
+    let max_retries = 4usize;
+    let mut retries = 0usize;
+    'attempt: loop {
+        let mut buf = DeviceAppendBuffer::<NeighborPair>::new(device, plan.buffer_items)?;
+        let mut stage = PinnedBuffer::<NeighborPair>::new(device, plan.buffer_items);
+        let builder = NeighborTableBuilder::new(eps, n, plan.n_batches);
+        let mut batch_time = SimDuration::ZERO;
+        let mut result_pairs = 0usize;
+        for l in 0..plan.n_batches {
+            buf.reset();
+            let report = match &search {
+                NdSearch::Grid { geom, bufs } => {
+                    let kernel = GpuCalcGridNd {
+                        points: store.view(),
+                        cells: bufs.cells(),
+                        lookup: bufs.lookup.as_slice(),
+                        geom: *geom,
+                        eps,
+                        batch: l,
+                        n_batches: plan.n_batches,
+                        result: &buf,
+                    };
+                    device.launch(kernel.launch_config(block_dim), &kernel)?
+                }
+                NdSearch::Tree { bufs } => {
+                    let kernel = GpuCalcTree {
+                        points: store.view(),
+                        tree: bufs.view(),
+                        eps,
+                        batch: l,
+                        n_batches: plan.n_batches,
+                        result: &buf,
+                    };
+                    device.launch(kernel.launch_config(block_dim), &kernel)?
+                }
+            };
+            if buf.overflowed() {
+                retries += 1;
+                if retries > max_retries {
+                    return Err(HybridError::RetriesExhausted { attempts: retries });
+                }
+                if plan.n_batches < n {
+                    plan = plan.with_doubled_batches();
+                    plan.n_batches = plan.n_batches.min(n);
+                } else {
+                    plan.buffer_items = plan.buffer_items.max(buf.len() + buf.rejected()).max(1);
+                }
+                continue 'attempt;
+            }
+            let sort_time = thrust::sort_by_key(device, buf.as_filled_mut_slice());
+            let (staged_len, d2h_time) = buf.download_into(&mut stage);
+            builder.ingest_batch(l, &stage.as_slice()[..staged_len]);
+            result_pairs += staged_len;
+            batch_time =
+                batch_time + report.duration + sort_time + d2h_time + ingest_time_model(staged_len);
+        }
+        let modeled_time = up_d + up_index + est_report.duration + stage.alloc_time() + batch_time;
+        return Ok(NdTableHandle {
+            table: builder.finalize(),
+            perm: perm.as_slice().to_vec(),
+            backend: decision,
+            e_b,
+            n_batches: plan.n_batches,
+            result_pairs,
+            modeled_time,
+        });
+    }
+}
+
+/// Host DBSCAN over an ND table, labels returned in caller order — the
+/// ND twin of [`crate::hybrid::HybridDbscan::cluster_with_table`].
+pub fn cluster_table_nd(handle: &NdTableHandle, minpts: usize) -> Clustering {
+    let mut visit_order = vec![0u32; handle.perm.len()];
+    for (k, &orig) in handle.perm.iter().enumerate() {
+        visit_order[orig as usize] = k as u32;
+    }
+    Dbscan::new(minpts)
+        .run_with_order(&TableSource::new(&handle.table), Some(&visit_order))
+        .unpermute(&handle.perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{clustering_fingerprint, table_fingerprint};
+    use spatial::nd::brute_force_neighbors_nd;
+
+    fn nd_points<const D: usize>(n: usize, extent: f64) -> Vec<PointN<D>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                PointN::new(std::array::from_fn(|k| {
+                    (t * (0.433 + 0.239 * k as f64)).fract() * extent
+                }))
+            })
+            .collect()
+    }
+
+    fn build<const D: usize>(
+        data: &[PointN<D>],
+        eps: f64,
+        backend: IndexBackend,
+        cfg: &BatchConfig,
+    ) -> NdTableHandle {
+        let device = Device::k20c();
+        build_table_nd(&device, data, eps, backend, cfg, 256).unwrap()
+    }
+
+    #[test]
+    fn backends_agree_and_match_brute_force_in_3d_and_4d() {
+        let cfg = BatchConfig::default();
+        let d3 = nd_points::<3>(400, 4.0);
+        let d4 = nd_points::<4>(250, 3.0);
+
+        let g3 = build(&d3, 0.8, IndexBackend::Grid, &cfg);
+        let t3 = build(&d3, 0.8, IndexBackend::Tree, &cfg);
+        assert_eq!(g3.e_b, t3.e_b);
+        assert_eq!(table_fingerprint(&g3.table), table_fingerprint(&t3.table));
+
+        let g4 = build(&d4, 0.7, IndexBackend::Grid, &cfg);
+        let t4 = build(&d4, 0.7, IndexBackend::Tree, &cfg);
+        assert_eq!(table_fingerprint(&g4.table), table_fingerprint(&t4.table));
+
+        // Table neighborhoods equal the brute-force oracle (ids mapped
+        // through the sort permutation).
+        let sorted = apply_permutation_nd(&spatial_sort_permutation_nd(&d3), &d3);
+        for i in (0..sorted.len()).step_by(37) {
+            let got = g3.table.neighbors(i as u32);
+            let want = brute_force_neighbors_nd(&sorted, &sorted[i], 0.8);
+            assert_eq!(got, &want[..], "point {i}");
+        }
+    }
+
+    #[test]
+    fn multi_batch_matches_single_batch() {
+        let data = nd_points::<3>(500, 4.0);
+        let one = build(&data, 0.8, IndexBackend::Tree, &BatchConfig::default());
+        let tiny = BatchConfig {
+            alpha: 0.05,
+            sample_fraction: 0.05,
+            static_threshold: 0,
+            static_buffer_items: 2000,
+            n_streams: 3,
+        };
+        let many = build(&data, 0.8, IndexBackend::Tree, &tiny);
+        assert!(many.n_batches > 1, "test must exercise batching");
+        assert_eq!(
+            table_fingerprint(&one.table),
+            table_fingerprint(&many.table)
+        );
+        assert_eq!(one.result_pairs, many.result_pairs);
+    }
+
+    #[test]
+    fn auto_resolves_and_clusterings_agree() {
+        let data = nd_points::<3>(400, 3.0);
+        let cfg = BatchConfig::default();
+        let auto = build(&data, 0.7, IndexBackend::Auto, &cfg);
+        assert_eq!(auto.backend.reason, "auto");
+        let grid = build(&data, 0.7, IndexBackend::Grid, &cfg);
+        assert_eq!(
+            table_fingerprint(&grid.table),
+            table_fingerprint(&auto.table)
+        );
+        let ca = cluster_table_nd(&auto, 4);
+        let cg = cluster_table_nd(&grid, 4);
+        assert_eq!(clustering_fingerprint(&ca), clustering_fingerprint(&cg));
+    }
+
+    #[test]
+    fn overflow_recovery_replans() {
+        let data = nd_points::<3>(300, 2.0);
+        // Tiny static buffers force overflow on the first pass.
+        let tiny = BatchConfig {
+            alpha: 0.05,
+            sample_fraction: 1.0,
+            static_threshold: 0,
+            static_buffer_items: 64,
+            n_streams: 3,
+        };
+        let h = build(&data, 0.8, IndexBackend::Tree, &tiny);
+        let reference = build(&data, 0.8, IndexBackend::Tree, &BatchConfig::default());
+        assert_eq!(
+            table_fingerprint(&h.table),
+            table_fingerprint(&reference.table)
+        );
+    }
+}

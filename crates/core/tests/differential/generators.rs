@@ -19,6 +19,8 @@
 //! | clumps                | the "realistic" mixed case, clusters + noise   |
 //! | duplicates            | repeated coordinates inflating neighborhoods   |
 //! | eps-grid              | every point with exact-ε axis neighbors        |
+//! | skewed-exp            | exponentially skewed cluster sizes (backend    |
+//! |                       | selector's tree-vs-grid decision boundary)     |
 
 use proptest::TestRng;
 use spatial::Point2;
@@ -41,8 +43,9 @@ pub struct Family {
     pub generate: fn(&mut TestRng) -> Case,
 }
 
-/// Every family, in a fixed order (indexed by tests and the sweep).
-pub const FAMILIES: [Family; 8] = [
+/// Every family, in a fixed order (indexed by tests and the sweep; new
+/// families append at the end so the indexes stay stable).
+pub const FAMILIES: [Family; 9] = [
     Family {
         name: "all-identical",
         generate: all_identical,
@@ -74,6 +77,10 @@ pub const FAMILIES: [Family; 8] = [
     Family {
         name: "eps-grid",
         generate: eps_grid,
+    },
+    Family {
+        name: "skewed-exp",
+        generate: skewed_exp,
     },
 ];
 
@@ -263,6 +270,44 @@ fn duplicates(rng: &mut TestRng) -> Case {
     }
     Case {
         family: "duplicates",
+        data,
+        eps: eps_units as f64 * Q,
+        minpts: minpts(rng),
+    }
+}
+
+/// Exponentially skewed cluster sizes on the lattice: cluster `c` holds
+/// roughly half as many points as cluster `c − 1`, so one clump carries
+/// most of the database while the rest trail off to singletons, plus a
+/// sparse uniform background. This is the cell-occupancy profile the
+/// backend selector routes to the tree, so the family drives the
+/// grid-vs-tree-vs-auto comparison through the selector's home turf —
+/// including the degenerate tail clusters (size 1) and clump borders at
+/// exact-ε offsets.
+fn skewed_exp(rng: &mut TestRng) -> Case {
+    let eps_units = 128i64; // eps = 1.0
+    let k = range(rng, 2, 7);
+    let head = range(rng, 16, 64); // size of the dominant cluster
+    let mut data = Vec::new();
+    for c in 0..k {
+        // Geometric decay: 1/2 per rank, floored at a singleton.
+        let m = ((head >> c) as usize).max(1);
+        let cx = c * range(rng, 4, 9) * eps_units;
+        let cy = range(rng, -3, 4) * eps_units;
+        for _ in 0..m {
+            data.push(pt(
+                cx + range(rng, -eps_units / 2, eps_units / 2 + 1),
+                cy + range(rng, -eps_units / 2, eps_units / 2 + 1),
+            ));
+        }
+    }
+    // Sparse background over a much wider extent — the empty-cell mass
+    // that makes mean occupancy (and its variance) tree-shaped.
+    for _ in 0..range(rng, 2, 10) {
+        data.push(pt(range(rng, -6000, 6000), range(rng, -6000, 6000)));
+    }
+    Case {
+        family: "skewed-exp",
         data,
         eps: eps_units as f64 * Q,
         minpts: minpts(rng),

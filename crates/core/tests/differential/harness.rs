@@ -3,6 +3,7 @@
 
 use crate::generators::Case;
 use gpu_sim::Device;
+use hybrid_dbscan_core::backend::IndexBackend;
 use hybrid_dbscan_core::cuda_dclust::cuda_dclust;
 use hybrid_dbscan_core::dbscan::{Clustering, Dbscan, GridSource, KdTreeSource, RTreeSource};
 use hybrid_dbscan_core::gdbscan::g_dbscan;
@@ -16,11 +17,12 @@ use spatial::{GridIndex, KdTree, Point2, RTree};
 /// collision path on every non-trivial case).
 const MAX_CHAINS: usize = 64;
 
-/// Run every clusterer in the repository on one input. Eight labeled
+/// Run every clusterer in the repository on one input. Ten labeled
 /// clusterings: the five implementations (Hybrid with both kernels, the
-/// R-tree reference, G-DBSCAN, CUDA-DClust) plus host DBSCAN over each
-/// of the three ε-indexes, so an implementation-vs-implementation
-/// divergence can be localized to an index or an algorithm.
+/// R-tree reference, G-DBSCAN, CUDA-DClust), the Hybrid tree and auto
+/// ε-search backends, plus host DBSCAN over each of the three ε-indexes,
+/// so an implementation-vs-implementation divergence can be localized to
+/// an index or an algorithm.
 pub fn run_all(case: &Case) -> Vec<(&'static str, Clustering)> {
     let Case {
         data, eps, minpts, ..
@@ -29,12 +31,15 @@ pub fn run_all(case: &Case) -> Vec<(&'static str, Clustering)> {
     let device = Device::k20c();
     let mut out = Vec::new();
 
-    for (name, kernel) in [
-        ("hybrid-global", KernelChoice::Global),
-        ("hybrid-shared", KernelChoice::Shared),
+    for (name, kernel, backend) in [
+        ("hybrid-global", KernelChoice::Global, IndexBackend::Grid),
+        ("hybrid-shared", KernelChoice::Shared, IndexBackend::Grid),
+        ("hybrid-tree", KernelChoice::Global, IndexBackend::Tree),
+        ("hybrid-auto", KernelChoice::Global, IndexBackend::Auto),
     ] {
         let cfg = HybridConfig {
             kernel,
+            backend,
             ..HybridConfig::default()
         };
         let r = HybridDbscan::new(&device, cfg)

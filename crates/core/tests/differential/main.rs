@@ -3,8 +3,9 @@
 //! Every clusterer in this repository claims to compute *exact* DBSCAN:
 //! the paper's thesis is that the GPU changes throughput, never output.
 //! This test target holds all five implementations (Hybrid global,
-//! Hybrid shared, the R-tree reference, G-DBSCAN, CUDA-DClust) and all
-//! three ε-indexes (grid, kd-tree, R-tree) to that claim:
+//! Hybrid shared, the R-tree reference, G-DBSCAN, CUDA-DClust), the
+//! Hybrid tree/auto ε-search backends, and all three ε-indexes (grid,
+//! kd-tree, R-tree) to that claim:
 //!
 //! * [`harness`] runs every clusterer on the same input and validates
 //!   each against the brute-force oracle (`hybrid_dbscan_core::oracle`),
@@ -37,6 +38,7 @@
 mod generators;
 mod grid_layouts;
 mod harness;
+mod nd;
 mod sharded;
 mod sweep;
 mod threads;

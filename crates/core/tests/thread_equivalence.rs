@@ -12,6 +12,7 @@
 //! even in the `RAYON_NUM_THREADS=1` CI run.
 
 use gpu_sim::device::Device;
+use hybrid_dbscan_core::backend::IndexBackend;
 use hybrid_dbscan_core::disjoint_set::dbscan_disjoint_set;
 use hybrid_dbscan_core::hybrid::{HybridConfig, HybridDbscan};
 use proptest::prelude::*;
@@ -157,5 +158,44 @@ proptest! {
                 threads, eps, minpts, base.n_batches, profile.total_tasks()
             );
         }
+    }
+
+    /// The tree backend under the same contract: bitwise-identical
+    /// schedule-independent outputs at every thread count, and — modeled
+    /// time aside (the backends cost differently by design) — the same
+    /// table, clusterings, and batch structure as the grid backend.
+    #[test]
+    fn tree_backend_identical_across_threads_and_matches_grid(
+        raw in prop::collection::vec((0.0f64..6.0, 0.0f64..6.0), 60..180),
+        eps_scaled in 40u32..110,
+        minpts in 2usize..5,
+    ) {
+        let data: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let eps = eps_scaled as f64 / 100.0;
+        let tree_cfg = HybridConfig {
+            backend: IndexBackend::Tree,
+            ..Default::default()
+        };
+
+        let base = run_config_at(1, &tree_cfg, &data, eps, minpts);
+        for threads in [2usize, 8] {
+            let other = run_config_at(threads, &tree_cfg, &data, eps, minpts);
+            prop_assert_eq!(
+                &base, &other,
+                "tree backend thread-count dependence at {} threads \
+                 (eps={}, minpts={})",
+                threads, eps, minpts
+            );
+        }
+
+        // Cross-backend: everything but the modeled duration matches the
+        // grid run bit for bit.
+        let grid = run_at(1, &data, eps, minpts);
+        prop_assert_eq!(&base.neighborhoods, &grid.neighborhoods);
+        prop_assert_eq!(&base.labels, &grid.labels);
+        prop_assert_eq!(&base.ds_labels, &grid.ds_labels);
+        prop_assert_eq!(base.result_pairs, grid.result_pairs);
+        prop_assert_eq!(base.n_batches, grid.n_batches);
+        prop_assert_eq!(&base.per_batch_pairs, &grid.per_batch_pairs);
     }
 }

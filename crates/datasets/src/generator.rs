@@ -1,8 +1,10 @@
-//! The SW-class and SDSS-class point generators.
+//! The SW-class and SDSS-class point generators, plus the backend-ablation
+//! families: skewed-exponential 2-D clusters and d ∈ {3, 4} jittered
+//! lattices.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spatial::Point2;
+use spatial::{Point2, PointN};
 
 /// Sample a standard normal via Box–Muller (the `rand_distr` crate is kept
 /// out of the dependency set; two uniforms suffice).
@@ -133,6 +135,108 @@ pub fn sdss_class(n: usize, width: f64, height: f64, seed: u64) -> Vec<Point2> {
     points
 }
 
+/// Generate a skewed-density dataset with *exponentially distributed
+/// cluster sizes*: `n_clusters` tight Gaussian clusters whose populations
+/// follow `w = -ln(u)` (a few clusters hold most of the mass), over a
+/// ~10% uniform background.
+///
+/// This is the tree backend's best case: cell-occupancy CV far above the
+/// SW class's, because the exponential size law concentrates points in a
+/// handful of ε-cells while the rest of the domain stays near-empty.
+pub fn skewed_exp_class(
+    n: usize,
+    width: f64,
+    height: f64,
+    n_clusters: usize,
+    seed: u64,
+) -> Vec<Point2> {
+    assert!(width > 0.0 && height > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_clusters = n_clusters.max(1);
+
+    struct Cluster {
+        x: f64,
+        y: f64,
+        sigma: f64,
+        cum_weight: f64,
+    }
+    let mut clusters = Vec::with_capacity(n_clusters);
+    let mut cum = 0.0;
+    for _ in 0..n_clusters {
+        let x = rng.random::<f64>() * width;
+        let y = rng.random::<f64>() * height;
+        // Exponential size weight: w = -ln(u).
+        let w = -rng.random::<f64>().max(f64::MIN_POSITIVE).ln();
+        // Tight spread, so big clusters over-fill their ε-cells.
+        let sigma = 0.03 + rng.random::<f64>() * 0.1;
+        cum += w;
+        clusters.push(Cluster {
+            x,
+            y,
+            sigma,
+            cum_weight: cum,
+        });
+    }
+    let total_weight = cum;
+
+    let n_background = n / 10;
+    let n_clustered = n - n_background;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n_clustered {
+        let target = rng.random::<f64>() * total_weight;
+        let idx = clusters
+            .partition_point(|c| c.cum_weight < target)
+            .min(n_clusters - 1);
+        let c = &clusters[idx];
+        let x = (c.x + sample_normal(&mut rng) * c.sigma).clamp(0.0, width);
+        let y = (c.y + sample_normal(&mut rng) * c.sigma).clamp(0.0, height);
+        points.push(Point2::new(x, y));
+    }
+    for _ in 0..n_background {
+        points.push(Point2::new(
+            rng.random::<f64>() * width,
+            rng.random::<f64>() * height,
+        ));
+    }
+    points
+}
+
+/// Generate a `D`-dimensional jittered lattice: `n` points at the first
+/// `n` sites of a `side^D` integer lattice (row-major, dim 0 fastest),
+/// spaced `spacing` apart and perturbed by a Gaussian of width
+/// `jitter × spacing`.
+///
+/// At `jitter = 0` every coordinate is an exact multiple of `spacing`
+/// (adversarial ε-boundary territory when ε is a lattice multiple); small
+/// jitter gives a quasi-uniform d-dimensional field — the grid-vs-tree
+/// contest case for d ∈ {3, 4}, where the grid pays a 3^d stencil.
+pub fn lattice_nd<const D: usize>(
+    n: usize,
+    spacing: f64,
+    jitter: f64,
+    seed: u64,
+) -> Vec<PointN<D>> {
+    assert!(D >= 1, "dimension must be at least 1");
+    assert!(spacing > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).powf(1.0 / D as f64).ceil().max(1.0) as usize;
+    (0..n)
+        .map(|i| {
+            let mut idx = i;
+            let coords = std::array::from_fn(|_| {
+                let c = (idx % side) as f64 * spacing;
+                idx /= side;
+                if jitter > 0.0 {
+                    c + sample_normal(&mut rng) * jitter * spacing
+                } else {
+                    c
+                }
+            });
+            PointN::new(coords)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +315,51 @@ mod tests {
             g_sdss.stats().non_empty_cells,
             g_sw.stats().non_empty_cells
         );
+    }
+
+    #[test]
+    fn skewed_exp_is_strongly_skewed() {
+        let n = 50_000;
+        let sdss = sdss_class(n, 100.0, 100.0, 5);
+        let skx = skewed_exp_class(n, 100.0, 100.0, 40, 5);
+        let cv_sdss = cell_count_cv(&sdss, 1.0);
+        let cv_skx = cell_count_cv(&skx, 1.0);
+        assert!(
+            cv_skx > 5.0 * cv_sdss,
+            "exponential cluster sizes must dwarf the uniform family's skew: \
+             {cv_skx:.2} vs {cv_sdss:.2}"
+        );
+    }
+
+    #[test]
+    fn skewed_exp_is_deterministic_and_in_domain() {
+        let a = skewed_exp_class(3000, 60.0, 30.0, 25, 9);
+        assert_eq!(a, skewed_exp_class(3000, 60.0, 30.0, 25, 9));
+        assert_eq!(a.len(), 3000);
+        for p in &a {
+            assert!(p.x >= 0.0 && p.x <= 60.0 && p.y >= 0.0 && p.y <= 30.0);
+        }
+    }
+
+    #[test]
+    fn lattice_nd_shapes_and_determinism() {
+        let l3: Vec<PointN<3>> = lattice_nd(1000, 0.5, 0.1, 4);
+        assert_eq!(l3.len(), 1000);
+        assert_eq!(l3, lattice_nd::<3>(1000, 0.5, 0.1, 4));
+        let l4: Vec<PointN<4>> = lattice_nd(500, 1.0, 0.0, 4);
+        assert_eq!(l4.len(), 500);
+        // Zero jitter: every coordinate is an exact lattice multiple.
+        for p in &l4 {
+            for &c in &p.coords {
+                assert_eq!(c, c.round());
+            }
+        }
+        // side = ceil(500^(1/4)) = 5; coordinates stay within the lattice.
+        for p in &l4 {
+            for &c in &p.coords {
+                assert!((0.0..=4.0).contains(&c));
+            }
+        }
     }
 
     #[test]

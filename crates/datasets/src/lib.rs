@@ -30,6 +30,6 @@ pub mod io;
 pub mod spec;
 pub mod stats;
 
-pub use generator::{sdss_class, sw_class};
+pub use generator::{lattice_nd, sdss_class, skewed_exp_class, sw_class};
 pub use spec::{Dataset, DatasetClass, DatasetSpec};
 pub use stats::DatasetStats;

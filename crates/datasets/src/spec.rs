@@ -16,6 +16,10 @@ pub enum DatasetClass {
     SpaceWeather,
     /// Sloan Digital Sky Survey galaxies: near-uniform.
     Sdss,
+    /// Synthetic skewed-density family: exponentially distributed cluster
+    /// sizes (a few clusters hold most of the mass) — the tree backend's
+    /// home turf in the backend ablation.
+    SkewedExp,
 }
 
 /// A named dataset specification.
@@ -93,8 +97,20 @@ pub const SDSS3: DatasetSpec = DatasetSpec {
     seed: 0xd553,
 };
 
-/// All registered specs, in the paper's reporting order.
-pub const ALL: [DatasetSpec; 5] = [SW1, SW4, SDSS1, SDSS2, SDSS3];
+/// SKX1: synthetic skewed-exponential dataset (no published counterpart;
+/// sized like SW1). `n_sites` doubles as the cluster count.
+pub const SKX1: DatasetSpec = DatasetSpec {
+    name: "SKX1",
+    class: DatasetClass::SkewedExp,
+    full_size: 2_000_000,
+    width: 360.0,
+    height: 180.0,
+    n_sites: 600,
+    seed: 0x5b71,
+};
+
+/// All registered specs, in the paper's reporting order (extensions last).
+pub const ALL: [DatasetSpec; 6] = [SW1, SW4, SDSS1, SDSS2, SDSS3, SKX1];
 
 /// Look up a spec by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<DatasetSpec> {
@@ -120,6 +136,10 @@ impl DatasetSpec {
                 sw_class(n, w, h, sites, self.seed)
             }
             DatasetClass::Sdss => sdss_class(n, w, h, self.seed),
+            DatasetClass::SkewedExp => {
+                let clusters = ((self.n_sites as f64 * scale).round() as usize).max(8);
+                crate::generator::skewed_exp_class(n, w, h, clusters, self.seed)
+            }
         };
         Dataset {
             spec: *self,

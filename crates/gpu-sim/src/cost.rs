@@ -51,6 +51,15 @@ pub struct CostModel {
     /// Cycles charged to every warp at each block-level barrier
     /// (`__syncthreads()`), penalizing barrier-heavy kernels.
     pub barrier_cycles: f64,
+    /// Extra cycles per *dependent* global read — a load whose address is
+    /// computed from the value of the previous load (pointer/index chase,
+    /// e.g. descending a packed tree node by node). Streaming reads charge
+    /// only `cycles_per_global_word` because independent loads pipeline;
+    /// a dependent chain exposes issue-to-use latency the scheduler cannot
+    /// overlap within the thread, so each hop pays this surcharge on top
+    /// of the word cost. This is what makes tree traversal pay for its
+    /// depth where the grid's direct cell indexing does not.
+    pub dependent_read_cycles: f64,
 }
 
 impl CostModel {
@@ -66,6 +75,10 @@ impl CostModel {
             latency_hiding: 0.5,
             read_cache_hit: 0.75,
             barrier_cycles: 40.0,
+            // ~half the exposed global-word latency: the chased node is
+            // usually resident in the read-only cache (tree pools are
+            // small), but the address dependence still serializes issue.
+            dependent_read_cycles: 50.0,
         }
     }
 }

@@ -44,6 +44,7 @@ pub struct ThreadCtx {
     global_word_cost: f64,
     shared_word_cost: f64,
     atomic_cost: f64,
+    dependent_read_cost: f64,
 }
 
 impl ThreadCtx {
@@ -91,6 +92,18 @@ impl ThreadCtx {
     #[inline]
     pub fn access_shared<T>(&mut self, n: u64) {
         self.charge_shared(n * std::mem::size_of::<T>() as u64);
+    }
+
+    /// Charge `n` *dependent* global reads of element type `T` — loads
+    /// whose addresses chain through previous loads (tree/pointer
+    /// traversal). Counts the same bytes as [`ThreadCtx::read_global`]
+    /// plus the cost model's per-hop latency surcharge
+    /// ([`crate::cost::CostModel::dependent_read_cycles`]), which is an
+    /// integer constant so the cycle total stays exact in f64.
+    #[inline]
+    pub fn read_global_dependent<T>(&mut self, n: u64) {
+        self.read_global::<T>(n);
+        self.cycles += n as f64 * self.dependent_read_cost;
     }
 
     /// Charge one global atomic RMW (e.g. the result-set `atomicAdd`).
@@ -179,6 +192,7 @@ pub struct BlockCtx {
     global_word_cost: f64,
     shared_word_cost: f64,
     atomic_cost: f64,
+    dependent_read_cost: f64,
     barrier_cost: f64,
     block_cycles: f64,
     counters: Counters,
@@ -216,6 +230,7 @@ impl BlockCtx {
                 global_word_cost: self.global_word_cost,
                 shared_word_cost: self.shared_word_cost,
                 atomic_cost: self.atomic_cost,
+                dependent_read_cost: self.dependent_read_cost,
             };
             f(&mut t);
             self.counters.merge(&t.counters);
@@ -306,6 +321,7 @@ impl Device {
                     global_word_cost: model.cycles_per_global_word,
                     shared_word_cost: model.cycles_per_shared_word,
                     atomic_cost: model.cycles_per_atomic,
+                    dependent_read_cost: model.dependent_read_cycles,
                     barrier_cost: model.barrier_cycles,
                     block_cycles: 0.0,
                     counters: Counters::default(),

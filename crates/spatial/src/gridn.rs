@@ -1,0 +1,382 @@
+//! Dimension-generic sparse grid index — the grid backend for d > 2.
+//!
+//! Same `(G, A)` structure as [`crate::grid`] with cells of ε side length,
+//! generalized to `D` dimensions: cell ids are mixed-radix `u64` keys with
+//! dimension 0 fastest-varying (at `D = 2` this is exactly the 2-D module's
+//! row-major `h = cy·nx + cx`), and the ε-stencil spans the `3^D` adjacent
+//! cells instead of 9. Only the sparse layout exists here: at d ≥ 3 the
+//! dense cell array is `Π n_k` entries — hopeless for any ε small relative
+//! to the extent — while the sparse layout stays O(|D|).
+//!
+//! This is the comparison backend the tree competes against in higher
+//! dimensions: the `3^D` stencil (27 cells at d = 3, 81 at d = 4, each
+//! needing a binary-search probe) is what makes grids degrade with
+//! dimensionality while the kd-tree's candidate volume stays `(2ε)^d`.
+//!
+//! `D` is capped at 4 ([`MAX_GRID_DIM`]): the fixed stencil buffer is
+//! `3^4 = 81` entries, and beyond that the stencil blowup makes the grid
+//! pointless anyway.
+
+use crate::grid::CellRange;
+use crate::nd::{AabbN, PointN};
+
+/// Largest supported dimensionality of the ND grid (stencil buffer bound).
+pub const MAX_GRID_DIM: usize = 4;
+
+/// Stencil buffer capacity: `3^MAX_GRID_DIM`.
+pub const MAX_STENCIL: usize = 81;
+
+/// Geometric parameters of a `D`-dimensional ε-grid — the device constants
+/// a kernel needs to map points to cell keys and enumerate the stencil.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridGeometryN<const D: usize> {
+    pub eps: f64,
+    pub origin: [f64; D],
+    /// Cells per dimension.
+    pub dims: [usize; D],
+}
+
+impl<const D: usize> GridGeometryN<D> {
+    /// Whether `p` lies within the cell coverage on every axis.
+    #[inline]
+    pub fn covers(&self, p: &PointN<D>) -> bool {
+        (0..D).all(|k| {
+            let f = (p.coords[k] - self.origin[k]) / self.eps;
+            f >= 0.0 && f < self.dims[k] as f64
+        })
+    }
+
+    /// Per-dimension cell coordinates of `p` (clamped to the border like
+    /// the 2-D grid; debug-asserted in coverage).
+    #[inline]
+    pub fn cell_coords_of(&self, p: &PointN<D>) -> [usize; D] {
+        debug_assert!(self.covers(p), "cell_coords_of on out-of-extent point");
+        std::array::from_fn(|k| {
+            (((p.coords[k] - self.origin[k]) / self.eps) as usize).min(self.dims[k] - 1)
+        })
+    }
+
+    /// Mixed-radix linear key, dimension 0 fastest:
+    /// `h = c_0 + n_0·(c_1 + n_1·(c_2 + …))`. At `D = 2` this equals the
+    /// 2-D grid's `cy·nx + cx`.
+    #[inline]
+    pub fn key_of_coords(&self, c: &[usize; D]) -> u64 {
+        let mut h = 0u64;
+        for k in (0..D).rev() {
+            h = h * self.dims[k] as u64 + c[k] as u64;
+        }
+        h
+    }
+
+    /// Linear cell key containing `p`.
+    #[inline]
+    pub fn key_of(&self, p: &PointN<D>) -> u64 {
+        self.key_of_coords(&self.cell_coords_of(p))
+    }
+
+    /// Total cell count `Π n_k` (never materialized; diagnostic only).
+    pub fn total_cells(&self) -> u128 {
+        self.dims.iter().map(|&n| n as u128).product()
+    }
+
+    /// The `3^D` ε-stencil around the cell with coordinates `c`: keys of
+    /// every cell that can contain points within ε of points in `c`,
+    /// ascending. Returns a fixed buffer with the first `count` entries
+    /// valid — no allocation in kernel inner loops.
+    #[inline]
+    pub fn stencil_of_coords(&self, c: &[usize; D]) -> ([u64; MAX_STENCIL], usize) {
+        const {
+            assert!(D >= 1 && D <= MAX_GRID_DIM, "grid dimension out of range");
+        }
+        let mut lo = [0usize; D];
+        let mut hi = [0usize; D];
+        for k in 0..D {
+            lo[k] = c[k].saturating_sub(1);
+            hi[k] = (c[k] + 1).min(self.dims[k] - 1);
+        }
+        let mut out = [0u64; MAX_STENCIL];
+        let mut n = 0;
+        // Odometer over the box [lo, hi], dimension 0 fastest — the keys
+        // come out ascending because the key radix matches the iteration
+        // order on every axis.
+        let mut cur = lo;
+        loop {
+            out[n] = self.key_of_coords(&cur);
+            n += 1;
+            let mut k = 0;
+            loop {
+                if k == D {
+                    return (out, n);
+                }
+                if cur[k] < hi[k] {
+                    cur[k] += 1;
+                    break;
+                }
+                cur[k] = lo[k];
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Borrowed `Copy` view of the sparse ND cell array (the `G` the kernels
+/// traverse): sorted non-empty keys plus parallel ranges into `A`.
+#[derive(Debug, Clone, Copy)]
+pub struct CellsViewN<'a> {
+    pub keys: &'a [u64],
+    pub ranges: &'a [CellRange],
+}
+
+impl CellsViewN<'_> {
+    /// The `[start, end)` range of cell key `h` (`EMPTY` if absent).
+    #[inline]
+    pub fn range_of(&self, h: u64) -> CellRange {
+        match self.keys.binary_search(&h) {
+            Ok(i) => self.ranges[i],
+            Err(_) => CellRange::EMPTY,
+        }
+    }
+
+    /// Modeled binary-search probe reads per cell resolution —
+    /// `ceil(log2(k + 1))`, like the 2-D sparse layout.
+    #[inline]
+    pub fn probe_reads(&self) -> u64 {
+        (usize::BITS - self.keys.len().leading_zeros()) as u64
+    }
+}
+
+/// The sparse `D`-dimensional grid index over a point database.
+#[derive(Debug, Clone)]
+pub struct GridIndexN<const D: usize> {
+    geom: GridGeometryN<D>,
+    /// Sorted non-empty cell keys.
+    keys: Vec<u64>,
+    /// Parallel to `keys`.
+    ranges: Vec<CellRange>,
+    /// `A`: point ids grouped by cell, ids in data order within a cell.
+    lookup: Vec<u32>,
+    max_per_cell: usize,
+}
+
+impl<const D: usize> GridIndexN<D> {
+    /// Build the index over `data` with cell width `eps`.
+    pub fn build(data: &[PointN<D>], eps: f64) -> Self {
+        const {
+            assert!(D >= 1 && D <= MAX_GRID_DIM, "grid dimension out of range");
+        }
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be finite and positive"
+        );
+        assert!(!data.is_empty(), "cannot index an empty database");
+
+        let bounds = AabbN::from_points(data.iter());
+        // One cell of slack past the max corner, as in the 2-D grid.
+        let dims: [usize; D] =
+            std::array::from_fn(|k| ((bounds.extent(k) / eps).floor() as usize) + 1);
+        let geom = GridGeometryN {
+            eps,
+            origin: bounds.min,
+            dims,
+        };
+        // u64 keys cannot overflow within any practical extent, but the
+        // radix product must fit.
+        assert!(
+            geom.total_cells() <= u64::MAX as u128,
+            "ND grid cell space exceeds u64 keys; eps {eps} is too small"
+        );
+
+        // Sparse build: sort (key, id) pairs — serial, deterministic.
+        let mut order: Vec<(u64, u32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (geom.key_of(p), i as u32))
+            .collect();
+        order.sort_unstable();
+
+        let mut keys = Vec::new();
+        let mut ranges: Vec<CellRange> = Vec::new();
+        let mut lookup = vec![0u32; data.len()];
+        let mut max_per_cell = 0usize;
+        for (pos, &(h, id)) in order.iter().enumerate() {
+            lookup[pos] = id;
+            if keys.last() != Some(&h) {
+                keys.push(h);
+                ranges.push(CellRange::new(pos as u32, pos as u32 + 1));
+            } else {
+                let r = ranges.last_mut().unwrap();
+                *r = CellRange::new(r.start, r.end + 1);
+            }
+            let len = ranges.last().unwrap().len();
+            max_per_cell = max_per_cell.max(len);
+        }
+
+        GridIndexN {
+            geom,
+            keys,
+            ranges,
+            lookup,
+            max_per_cell,
+        }
+    }
+
+    pub fn geometry(&self) -> &GridGeometryN<D> {
+        &self.geom
+    }
+
+    /// The lookup array `A`.
+    pub fn lookup(&self) -> &[u32] {
+        &self.lookup
+    }
+
+    /// The borrowed cell-array view the kernels capture.
+    pub fn cells(&self) -> CellsViewN<'_> {
+        CellsViewN {
+            keys: &self.keys,
+            ranges: &self.ranges,
+        }
+    }
+
+    pub fn non_empty_cells(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn max_points_per_cell(&self) -> usize {
+        self.max_per_cell
+    }
+
+    /// Host-side ε-neighborhood query: visit every id whose point lies
+    /// within the closed ε-ball of `q`. `data` must be the indexed slice.
+    pub fn query_visit(&self, data: &[PointN<D>], q: &PointN<D>, mut visit: impl FnMut(u32)) {
+        debug_assert!(self.geom.covers(q), "query point outside indexed extent");
+        let eps_sq = self.geom.eps * self.geom.eps;
+        let c = self.geom.cell_coords_of(q);
+        let (stencil, count) = self.geom.stencil_of_coords(&c);
+        let cells = self.cells();
+        for &h in &stencil[..count] {
+            let r = cells.range_of(h);
+            for &id in &self.lookup[r.start as usize..r.end as usize] {
+                if data[id as usize].distance_sq(q) <= eps_sq {
+                    visit(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nd::brute_force_neighbors_nd;
+    use crate::{GridIndex, Point2};
+
+    fn pseudo_points<const D: usize>(n: usize, extent: f64) -> Vec<PointN<D>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                PointN::new(std::array::from_fn(|k| {
+                    (t * (0.377 + 0.211 * k as f64)).fract() * extent
+                }))
+            })
+            .collect()
+    }
+
+    fn query_sorted<const D: usize>(
+        g: &GridIndexN<D>,
+        data: &[PointN<D>],
+        q: &PointN<D>,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        g.query_visit(data, q, |id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn queries_match_brute_force_2d_3d_4d() {
+        let eps = 0.7;
+        let p2 = pseudo_points::<2>(300, 6.0);
+        let g2 = GridIndexN::build(&p2, eps);
+        for q in &p2 {
+            assert_eq!(
+                query_sorted(&g2, &p2, q),
+                brute_force_neighbors_nd(&p2, q, eps)
+            );
+        }
+        let p3 = pseudo_points::<3>(250, 4.0);
+        let g3 = GridIndexN::build(&p3, eps);
+        for q in &p3 {
+            assert_eq!(
+                query_sorted(&g3, &p3, q),
+                brute_force_neighbors_nd(&p3, q, eps)
+            );
+        }
+        let p4 = pseudo_points::<4>(200, 3.0);
+        let g4 = GridIndexN::build(&p4, eps);
+        for q in &p4 {
+            assert_eq!(
+                query_sorted(&g4, &p4, q),
+                brute_force_neighbors_nd(&p4, q, eps)
+            );
+        }
+    }
+
+    #[test]
+    fn keys_match_2d_grid_row_major() {
+        // At D = 2 the mixed-radix key must equal the 2-D grid's
+        // h = cy·nx + cx on the same geometry.
+        let pts2: Vec<Point2> = vec![
+            Point2::new(0.1, 0.1),
+            Point2::new(2.6, 0.4),
+            Point2::new(1.4, 2.2),
+            Point2::new(2.9, 2.9),
+        ];
+        let ptsn: Vec<PointN<2>> = pts2.iter().map(|&p| PointN::from(p)).collect();
+        let g2 = GridIndex::build(&pts2, 1.0);
+        let gn = GridIndexN::build(&ptsn, 1.0);
+        for (p2, pn) in pts2.iter().zip(&ptsn) {
+            assert_eq!(g2.cell_of(p2) as u64, gn.geometry().key_of(pn));
+        }
+        // And the lookup arrays must agree (same grouping, same order).
+        assert_eq!(g2.lookup(), gn.lookup());
+    }
+
+    #[test]
+    fn stencil_is_ascending_and_bounded() {
+        let pts = pseudo_points::<3>(100, 5.0);
+        let g = GridIndexN::build(&pts, 1.0);
+        for p in &pts {
+            let c = g.geometry().cell_coords_of(p);
+            let (stencil, n) = g.geometry().stencil_of_coords(&c);
+            assert!(n <= 27);
+            assert!(stencil[..n].windows(2).all(|w| w[0] < w[1]));
+        }
+        // An interior cell of a 3-D grid has the full 27-cell stencil.
+        let interior = [1usize, 1, 1];
+        let dims_ok = g.geometry().dims.iter().all(|&d| d >= 3);
+        if dims_ok {
+            let (_, n) = g.geometry().stencil_of_coords(&interior);
+            assert_eq!(n, 27);
+        }
+    }
+
+    #[test]
+    fn lookup_is_a_permutation() {
+        let pts = pseudo_points::<4>(300, 4.0);
+        let g = GridIndexN::build(&pts, 0.9);
+        let mut ids = g.lookup().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..300u32).collect::<Vec<_>>());
+        assert!(g.non_empty_cells() > 0);
+        assert!(g.max_points_per_cell() >= 1);
+    }
+
+    #[test]
+    fn boundary_points_fall_inside() {
+        // Points exactly on the AABB max corner land in the slack cell.
+        let pts = vec![PointN::new([0.0, 0.0, 0.0]), PointN::new([2.0, 2.0, 2.0])];
+        let g = GridIndexN::build(&pts, 1.0);
+        assert!(g.geometry().covers(&pts[1]));
+        assert_eq!(query_sorted(&g, &pts, &pts[1]), vec![1]);
+    }
+}

@@ -13,14 +13,24 @@
 //!   database before grid construction to improve access locality.
 //! * [`shard`] — x-quantile slab partitioning with ε-halos, the spatial
 //!   layer under the multi-device sharded pipeline.
+//! * [`nd`] — dimension-generic points, stores, AABBs, pre-sort, and the
+//!   brute-force oracle (const-generic `D`, covering d ∈ {2, 3, 4}).
+//! * [`gridn`] — the sparse ε-grid generalized to `D` dimensions
+//!   (`3^D` stencil, `u64` mixed-radix cell keys).
+//! * [`packed_tree`] — the device-resident packed kd-tree (implicit
+//!   level-order heap, SoA node pool) behind the tree ε-search backend.
 //!
-//! All structures operate on 2-D points ([`Point2`]); the paper restricts
-//! itself to spatial (2-D) data.
+//! The original pipeline operates on 2-D points ([`Point2`]), the paper's
+//! setting; the [`nd`]/[`gridn`]/[`packed_tree`] layer extends the same
+//! structures to higher dimensions without disturbing the 2-D path.
 
 pub mod aabb;
 pub mod distance;
 pub mod grid;
+pub mod gridn;
 pub mod kdtree;
+pub mod nd;
+pub mod packed_tree;
 pub mod point;
 pub mod presort;
 pub mod rtree;
@@ -29,7 +39,10 @@ pub mod soa;
 
 pub use aabb::Aabb;
 pub use grid::{CellRange, CellsView, GridGeometry, GridIndex, GridLayout, GridStats};
+pub use gridn::{CellsViewN, GridGeometryN, GridIndexN};
 pub use kdtree::KdTree;
+pub use nd::{AabbN, PointN, PointStoreN, PointsViewN};
+pub use packed_tree::{PackedKdTree, TreeStats, TreeView};
 pub use point::Point2;
 pub use rtree::{RTree, RTreeStats};
 pub use shard::ShardPlan;

@@ -28,6 +28,12 @@ pub struct SortPermutation {
 }
 
 impl SortPermutation {
+    /// Wrap a precomputed order (used by the dimension-generic pre-sort in
+    /// [`crate::nd`]). `order[k]` must be a permutation of `0..len`.
+    pub(crate) fn from_order(order: Vec<u32>) -> Self {
+        Self { order }
+    }
+
     /// Apply the permutation, producing the sorted point array. An
     /// index-addressed gather: parallel and serial paths write the same
     /// element at the same position.

@@ -86,6 +86,19 @@ step "threads smoke (RAYON_NUM_THREADS=8)" \
 step "shard smoke" ./target/release/repro shard --scale 0.002 \
     --csv target/ci-shard --ledger target/ci-ledger
 
+# Backend ablation smoke tier (ISSUE 10): grid vs tree vs auto ε-search
+# on the ablation workloads (uniform + skewed 2-D, 3-D and 4-D
+# lattices), run at one and at four host threads: the neighbor tables
+# and clusterings must be bitwise identical across all three backends
+# and both pool sizes. The binary exits nonzero on any fingerprint
+# mismatch — always fatal; the auto-selector accuracy floor (>= 90% of
+# workloads matching the modeled winner) is advisory unless
+# BENCH_STRICT=1.
+step "backend smoke (RAYON_NUM_THREADS=1)" \
+    env RAYON_NUM_THREADS=1 ./target/release/repro backend --scale 0.002
+step "backend smoke (RAYON_NUM_THREADS=4)" \
+    env RAYON_NUM_THREADS=4 ./target/release/repro backend --scale 0.002
+
 # Report smoke tier (ISSUE 9): render the trend dashboard over the
 # CI-local ledger (committed history + the smoke runs above). The binary
 # is the gate: it exits nonzero if the ledger is unreadable or the
